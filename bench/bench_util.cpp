@@ -1,0 +1,112 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace phmse::bench {
+
+double bench_scale() {
+  const double s = env_double("PHMSE_BENCH_SCALE", 1.0);
+  return std::clamp(s, 0.01, 1.0);
+}
+
+namespace {
+
+linalg::Vector perturbed_state(const mol::Topology& topo, double sigma) {
+  Rng rng(static_cast<std::uint64_t>(env_long("PHMSE_BENCH_SEED", 1234)));
+  linalg::Vector x = topo.true_state();
+  for (auto& v : x) v += rng.gaussian(0.0, sigma);
+  return x;
+}
+
+}  // namespace
+
+HelixProblem make_helix_problem(Index length) {
+  HelixProblem p{mol::build_helix(length), {}, {}};
+  p.constraints = cons::generate_helix_constraints(p.model);
+  p.initial = perturbed_state(p.model.topology, 0.3);
+  return p;
+}
+
+RiboProblem make_ribo_problem() {
+  RiboProblem p{mol::build_ribo30s(), {}, {}};
+  p.constraints = cons::generate_ribo_constraints(p.model);
+  p.initial = perturbed_state(p.model.topology, 1.0);
+  return p;
+}
+
+core::Hierarchy prepare_helix_hierarchy(const HelixProblem& p, int procs,
+                                        Index batch_size) {
+  core::Hierarchy h = core::build_helix_hierarchy(p.model);
+  core::assign_constraints(h, p.constraints);
+  core::estimate_work(h, core::WorkModel{}, batch_size);
+  core::assign_processors(h, procs);
+  return h;
+}
+
+core::Hierarchy prepare_ribo_hierarchy(const RiboProblem& p, int procs,
+                                       Index batch_size) {
+  core::Hierarchy h = core::build_ribo_hierarchy(p.model);
+  core::assign_constraints(h, p.constraints);
+  core::estimate_work(h, core::WorkModel{}, batch_size);
+  core::assign_processors(h, procs);
+  return h;
+}
+
+int run_speedup_table(const SpeedupSpec& spec) {
+  print_header(spec.table_id, spec.title);
+
+  HelixProblem helix;
+  RiboProblem ribo;
+  Index helix_len = 16;
+  if (!spec.helix_problem) {
+    ribo = make_ribo_problem();
+  } else {
+    if (bench_scale() < 0.5) helix_len = 8;
+    helix = make_helix_problem(helix_len);
+  }
+
+  std::printf("problem: %s; machine: %s (%d processors, %s memory)\n",
+              spec.helix_problem
+                  ? ("Helix " + std::to_string(helix_len) + " bp").c_str()
+                  : "ribo30S (~900 pseudo-atoms, ~6500 constraints)",
+              spec.machine.name.c_str(), spec.machine.processors,
+              spec.machine.layout == simarch::MemoryLayout::kDistributed
+                  ? "distributed (CC-NUMA)"
+                  : "centralized (bus)");
+
+  core::HierSolveOptions opts;  // one cycle, batch 16 — as the paper times
+  const core::ProblemFactory factory = [&](int procs) {
+    return spec.helix_problem ? prepare_helix_hierarchy(helix, procs)
+                              : prepare_ribo_hierarchy(ribo, procs);
+  };
+  const linalg::Vector& initial =
+      spec.helix_problem ? helix.initial : ribo.initial;
+  const core::SpeedupStudy study = core::run_speedup_study(
+      factory, initial, opts, spec.machine, spec.proc_counts);
+  std::printf("%s", core::format_speedup_table(study).c_str());
+  std::printf("(simulated work time in seconds on the %s machine model; "
+              "categories are max-over-processors)\n",
+              spec.machine.name.c_str());
+  std::printf("%s\n", spec.paper_note.c_str());
+  return 0;
+}
+
+void print_header(const std::string& table_id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("PHMSE reproduction — %s: %s\n", table_id.c_str(),
+              title.c_str());
+  std::printf("(Chen, Singh, Altman, \"Parallel Hierarchical Molecular "
+              "Structure Estimation\", SC'96)\n");
+  if (bench_scale() < 1.0) {
+    std::printf("NOTE: PHMSE_BENCH_SCALE=%.2f — reduced configuration\n",
+                bench_scale());
+  }
+  std::printf("================================================================\n");
+}
+
+}  // namespace phmse::bench

@@ -1,0 +1,78 @@
+// Shared helpers for the benchmark harnesses.
+//
+// Every harness honours two environment knobs:
+//   PHMSE_BENCH_SCALE  — 1.0 (default) runs the full paper configuration;
+//                        smaller values trim the largest problem sizes for
+//                        quick smoke runs.
+//   PHMSE_BENCH_SEED   — RNG seed for initial-estimate perturbations.
+#pragma once
+
+#include <string>
+
+#include "constraints/helix_gen.hpp"
+#include "constraints/ribo_gen.hpp"
+#include "core/assign.hpp"
+#include "core/hier_solver.hpp"
+#include "core/study.hpp"
+#include "core/schedule.hpp"
+#include "core/work_model.hpp"
+#include "molecule/ribo30s.hpp"
+#include "molecule/rna_helix.hpp"
+
+namespace phmse::bench {
+
+/// Benchmark scale in (0, 1]; from PHMSE_BENCH_SCALE.
+double bench_scale();
+
+/// A ready-to-solve problem: model + constraints + hierarchy + initial x.
+struct HelixProblem {
+  mol::HelixModel model;
+  cons::ConstraintSet constraints;
+  linalg::Vector initial;
+};
+
+struct RiboProblem {
+  mol::Ribo30sModel model;
+  cons::ConstraintSet constraints;
+  linalg::Vector initial;
+};
+
+/// Builds the paper's Helix problem of `length` base pairs (constraints
+/// exactly as in Table 1 — no anchors) with a perturbed initial estimate.
+HelixProblem make_helix_problem(Index length);
+
+/// Builds the paper's ribo30S problem (~900 pseudo-atoms, ~6500
+/// constraints).
+RiboProblem make_ribo_problem();
+
+/// Builds, populates and schedules the Fig.-2 hierarchy for a helix
+/// problem.
+core::Hierarchy prepare_helix_hierarchy(const HelixProblem& p, int procs,
+                                        Index batch_size = 16);
+
+/// Builds, populates and schedules the Fig.-4 hierarchy for the ribosome.
+core::Hierarchy prepare_ribo_hierarchy(const RiboProblem& p, int procs,
+                                       Index batch_size = 16);
+
+/// Prints a standard header line for a harness.
+void print_header(const std::string& table_id, const std::string& title);
+
+/// Configuration for one of the paper's parallel speedup studies
+/// (Tables 3-6 / Figures 7-10): a problem on a simulated machine.
+struct SpeedupSpec {
+  std::string table_id;
+  std::string title;
+  simarch::MachineConfig machine;
+  std::vector<int> proc_counts;
+  /// true = Helix 16 bp, false = ribo30S.
+  bool helix_problem = true;
+  /// Reference rows from the paper for the side-by-side note.
+  std::string paper_note;
+};
+
+/// Runs the study: for every processor count, executes one cycle of the
+/// hierarchical solve on the simulated machine and prints work time,
+/// speedup and the per-category breakdown in the paper's table layout.
+int run_speedup_table(const SpeedupSpec& spec);
+
+}  // namespace phmse::bench

@@ -1,0 +1,22 @@
+// Reproduces Table 3 / Figure 7: Helix (16 bp) work time, speedup and
+// per-category time distribution on the (simulated) Stanford DASH.
+//
+// Expected shape: good overall speedup (~24x at 32 processors in the
+// paper), with dips at non-power-of-2 processor counts because the binary
+// helix tree cannot split an odd team evenly; m-v/sys/m-m scale well, chol
+// and vec poorly, d-s at 55-75% efficiency from remote misses.
+#include "bench_util.hpp"
+
+int main() {
+  phmse::bench::SpeedupSpec spec;
+  spec.table_id = "Table 3 / Figure 7";
+  spec.title = "Helix work time and distribution on DASH";
+  spec.machine = phmse::simarch::dash32();
+  spec.proc_counts = {1, 2, 4, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32};
+  spec.helix_problem = true;
+  spec.paper_note =
+      "Paper reference (Table 3): time 483.22s -> 20.00s, speedup 24.16 at "
+      "NP=32,\nwith dips at non-power-of-2 NP (e.g. 5.20 at NP=6); "
+      "m-v dominates (384.97s at NP=1).";
+  return phmse::bench::run_speedup_table(spec);
+}

@@ -1,0 +1,20 @@
+// Reproduces Table 5 / Figure 9: Helix (16 bp) on the (simulated) SGI
+// Challenge — centralized memory, 16 faster processors.
+//
+// Expected shape: ~14x speedup at 16 processors; same power-of-2 dips as
+// on DASH; absolute times ~3x lower than DASH at NP=1 (100 MHz R4400 vs
+// 33 MHz R3000).
+#include "bench_util.hpp"
+
+int main() {
+  phmse::bench::SpeedupSpec spec;
+  spec.table_id = "Table 5 / Figure 9";
+  spec.title = "Helix work time and distribution on Challenge";
+  spec.machine = phmse::simarch::challenge16();
+  spec.proc_counts = {1, 2, 4, 6, 8, 10, 12, 14, 16};
+  spec.helix_problem = true;
+  spec.paper_note =
+      "Paper reference (Table 5): time 159.99s -> 11.59s, speedup 13.80 at "
+      "NP=16, dips at\nnon-power-of-2 NP (e.g. 4.95 at NP=6).";
+  return phmse::bench::run_speedup_table(spec);
+}

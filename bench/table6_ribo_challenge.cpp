@@ -1,0 +1,18 @@
+// Reproduces Table 6 / Figure 10: ribo30S on the (simulated) SGI Challenge.
+//
+// Expected shape: ~14x speedup at 16 processors, smooth curve (high
+// branching factor), absolute times ~3x lower than the DASH rows.
+#include "bench_util.hpp"
+
+int main() {
+  phmse::bench::SpeedupSpec spec;
+  spec.table_id = "Table 6 / Figure 10";
+  spec.title = "ribo30S work time and distribution on Challenge";
+  spec.machine = phmse::simarch::challenge16();
+  spec.proc_counts = {1, 2, 4, 6, 8, 10, 12, 14, 16};
+  spec.helix_problem = false;
+  spec.paper_note =
+      "Paper reference (Table 6): time 272.53s -> 18.86s, speedup 14.45 at "
+      "NP=16, smooth curve.";
+  return phmse::bench::run_speedup_table(spec);
+}

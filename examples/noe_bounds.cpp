@@ -1,0 +1,129 @@
+// Non-Gaussian data: structure determination from NOE-style distance
+// *bounds* and outlier-prone measurements.
+//
+// Real NMR distance data arrives as intervals (NOE intensity classes map
+// to "these protons are 1.8-2.7 A apart") and occasionally as outright
+// misassignments.  The paper's framework handles both through its
+// non-Gaussian extension (reference [2]); this example runs a small helix
+// with (a) interval constraints instead of exact distances and (b) a
+// slab-and-spike mixture model protecting against planted outliers.
+#include <cstdio>
+#include <vector>
+
+#include "constraints/helix_gen.hpp"
+#include "estimation/analysis.hpp"
+#include "estimation/nongaussian.hpp"
+#include "estimation/update.hpp"
+#include "molecule/rna_helix.hpp"
+#include "support/rng.hpp"
+
+using namespace phmse;
+
+int main() {
+  const mol::HelixModel model = mol::build_helix(4);
+  const mol::Topology& topo = model.topology;
+  Rng rng(11);
+
+  // --- Data synthesis -----------------------------------------------------
+  // NOE-style bounds: for every category-4/5 contact, only an interval is
+  // known.  Intra-base geometry stays as precise Gaussian bond data, plus
+  // frame anchors.
+  cons::HelixNoise noise;
+  noise.anchor_first_pair = true;
+  const cons::ConstraintSet full =
+      cons::generate_helix_constraints(model, noise);
+
+  // Intra-base geometry (categories 0-3: anchors + general chemistry)
+  // remains precise Gaussian data; every cross-base distance (categories
+  // 4-5, the experimentally measured ones) becomes an NOE interval
+  // bracketing the true distance.
+  cons::ConstraintSet gaussians;
+  std::vector<est::BoundConstraint> bounds;
+  for (const cons::Constraint& c : full.all()) {
+    if (c.category <= 3) {
+      gaussians.add(c);
+      continue;
+    }
+    const double true_d = mol::distance(topo.atom(c.atoms[0]).position,
+                                        topo.atom(c.atoms[1]).position);
+    est::BoundConstraint b;
+    b.kind = cons::Kind::kDistance;
+    b.atoms = c.atoms;
+    b.lower = std::max(0.0, true_d - 0.5);
+    b.upper = true_d + 0.5;
+    b.tail_sigma = 0.15;
+    bounds.push_back(b);
+  }
+  std::printf("data: %lld Gaussian constraints, %zu NOE-style bounds\n",
+              static_cast<long long>(gaussians.size()), bounds.size());
+
+  // A few poisoned long-range measurements with 15%% misassignment rate,
+  // modeled with a slab-and-spike mixture.
+  std::vector<est::MixtureConstraint> contacts;
+  for (Index p = 0; p + 1 < model.num_pairs(); ++p) {
+    const Index i = model.pairs[static_cast<std::size_t>(p)].strand1
+                        .sidechain_begin;
+    const Index j = model.pairs[static_cast<std::size_t>(p + 1)].strand2
+                        .sidechain_begin;
+    const double true_d =
+        mol::distance(topo.atom(i).position, topo.atom(j).position);
+    est::MixtureConstraint mc;
+    mc.geometry.kind = cons::Kind::kDistance;
+    mc.geometry.atoms = {i, j, 0, 0};
+    // Plant one outlier: the first contact reports nonsense.
+    mc.geometry.observed = p == 0 ? true_d + 6.0
+                                  : true_d + rng.gaussian(0.0, 0.1);
+    mc.noise = {{0.85, 0.0, 0.1}, {0.15, 0.0, 5.0}};
+    contacts.push_back(mc);
+  }
+  std::printf("      %zu long-range contacts (first one is a planted "
+              "outlier)\n",
+              contacts.size());
+
+  // --- Refinement ---------------------------------------------------------
+  Rng prng(12);
+  est::NodeState state = est::make_initial_state(
+      topo, 0, topo.size(), /*prior_sigma=*/0.5, /*perturb_sigma=*/0.4, prng);
+  std::printf("initial RMSD: %.3f A\n", topo.rmsd_to_truth(state.x));
+
+  par::SerialContext ctx;
+  est::BatchUpdater gaussian_updater;
+  est::NonGaussianUpdater ng;
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    state.reset_covariance(0.5);
+    gaussian_updater.apply_all(ctx, state, gaussians, 16);
+    ng.apply_bounds(ctx, state, bounds);
+    for (const auto& mc : contacts) ng.apply_mixture(ctx, state, mc);
+  }
+  std::printf("final RMSD:   %.3f A (interval data of width 1.0 A "
+              "determines the fold only to\n              interval "
+              "precision — satisfaction of the bounds is the real "
+              "criterion)\n",
+              topo.rmsd_to_truth(state.x));
+
+  // How many bounds does the refined structure satisfy?
+  Index satisfied = 0;
+  const auto pos = topo.positions_from_state(state.x);
+  for (const auto& b : bounds) {
+    const double d = mol::distance(pos[static_cast<std::size_t>(b.atoms[0])],
+                                   pos[static_cast<std::size_t>(b.atoms[1])]);
+    if (d >= b.lower - 0.1 && d <= b.upper + 0.1) ++satisfied;
+  }
+  std::printf("bounds satisfied: %lld / %zu\n",
+              static_cast<long long>(satisfied), bounds.size());
+
+  // The planted outlier must not have dragged its atoms away: check the
+  // residual of the poisoned contact vs a clean one.
+  const auto check = [&](const est::MixtureConstraint& mc) {
+    const double d =
+        mol::distance(pos[static_cast<std::size_t>(mc.geometry.atoms[0])],
+                      pos[static_cast<std::size_t>(mc.geometry.atoms[1])]);
+    return mc.geometry.observed - d;
+  };
+  std::printf("poisoned contact residual: %.2f A (the filter rejected it); "
+              "clean contact residual: %.2f A\n",
+              check(contacts[0]), check(contacts[1]));
+
+  std::printf("\n%s", est::uncertainty_report(state, topo, 3).c_str());
+  return 0;
+}

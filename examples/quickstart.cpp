@@ -1,0 +1,98 @@
+// Quickstart: estimate the structure of a tiny molecule from noisy
+// distance measurements, and read out the uncertainty of the answer.
+//
+// This walks the whole public API in ~80 lines:
+//   1. describe the atoms (a Topology),
+//   2. state what was measured (a ConstraintSet),
+//   3. pick an initial estimate (x, C),
+//   4. run the iterated update procedure (solve_flat),
+//   5. inspect the refined coordinates and their variances.
+#include <cstdio>
+
+#include "constraints/set.hpp"
+#include "estimation/solver.hpp"
+#include "molecule/topology.hpp"
+#include "support/rng.hpp"
+
+using namespace phmse;
+
+int main() {
+  // 1. A four-atom "molecule" shaped like a zig-zag chain.  The positions
+  //    here are the ground truth used to synthesize noisy measurements;
+  //    the estimator never sees them directly.
+  mol::Topology topo;
+  topo.add_atom("A", {0.0, 0.0, 0.0});
+  topo.add_atom("B", {1.5, 0.0, 0.0});
+  topo.add_atom("C", {2.3, 1.2, 0.0});
+  topo.add_atom("D", {3.8, 1.3, 0.2});
+
+  // 2. Measurements: every pairwise distance several times (as a wet-lab
+  //    experiment would repeat it), a bond angle and a torsion from general
+  //    chemistry, plus position anchors on atoms A and B.  Distances alone
+  //    determine a structure only up to rigid motion and reflection; the
+  //    anchors pin the frame and the torsion breaks the mirror ambiguity.
+  //    Three non-collinear anchors are needed: with only A and B pinned the
+  //    molecule could still spin freely about the A-B axis.
+  Rng rng(2024);
+  cons::ConstraintSet data;
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    for (Index i = 0; i < topo.size(); ++i) {
+      for (Index j = i + 1; j < topo.size(); ++j) {
+        data.add(cons::make_observed(cons::Kind::kDistance, {i, j, 0, 0},
+                                     topo, /*sigma=*/0.05, rng));
+      }
+    }
+  }
+  data.add(cons::make_observed(cons::Kind::kAngle, {0, 1, 2, 0}, topo,
+                               /*sigma=*/0.02, rng));
+  data.add(cons::make_observed(cons::Kind::kTorsion, {0, 1, 2, 3}, topo,
+                               /*sigma=*/0.02, rng));
+  for (Index atom : {Index{0}, Index{1}, Index{2}}) {
+    for (int axis = 0; axis < 3; ++axis) {
+      data.add(cons::make_observed(cons::Kind::kPosition, {atom, 0, 0, 0},
+                                   topo, /*sigma=*/0.02, rng, /*category=*/0,
+                                   axis));
+    }
+  }
+  std::printf("measurements: %lld scalar constraints\n",
+              static_cast<long long>(data.size()));
+
+  // 3. Initial estimate: the truth shaken by 0.4 A per coordinate, with a
+  //    spherical prior.
+  est::NodeState estimate =
+      est::make_initial_state(topo, 0, topo.size(), /*prior_sigma=*/0.8,
+                              /*perturb_sigma=*/0.4, rng);
+  std::printf("initial RMSD to truth: %.3f A\n",
+              topo.rmsd_to_truth(estimate.x));
+
+  // 4. Iterate cycles of the update procedure until the estimate settles.
+  par::SerialContext ctx;
+  est::SolveOptions opts;
+  opts.batch_size = 8;
+  opts.max_cycles = 60;
+  opts.prior_sigma = 0.8;
+  opts.tolerance = 1e-3;
+  const est::SolveResult result = est::solve_flat(ctx, estimate, data, opts);
+  std::printf("solved in %d cycles (converged: %s)\n", result.cycles,
+              result.converged ? "yes" : "no");
+
+  // 5. Results: coordinates and their standard deviations from the
+  //    covariance diagonal.
+  std::printf("final RMSD to truth:  %.3f A\n\n",
+              topo.rmsd_to_truth(estimate.x));
+  std::printf("%-4s %22s %28s\n", "atom", "estimated position",
+              "marginal std-dev (x y z)");
+  for (Index a = 0; a < topo.size(); ++a) {
+    const mol::Vec3 pos = estimate.position(a);
+    std::printf("%-4s (%6.3f %6.3f %6.3f)    (%.4f %.4f %.4f)\n",
+                topo.atom(a).label.c_str(), pos.x, pos.y, pos.z,
+                std::sqrt(estimate.c(3 * a + 0, 3 * a + 0)),
+                std::sqrt(estimate.c(3 * a + 1, 3 * a + 1)),
+                std::sqrt(estimate.c(3 * a + 2, 3 * a + 2)));
+  }
+  std::printf("\nNote how atom A (anchored) has tiny variances while the "
+              "chain end D, constrained\nonly through distances, is the "
+              "least certain — the covariance output is the point\nof the "
+              "method, not just the coordinates.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// RNA double-helix refinement: the paper's Helix workload end to end, with
+// hierarchical decomposition and real multithreaded execution.
+//
+// Builds an 8-base-pair A-form helix, generates the five categories of
+// distance constraints (plus reference-frame anchors), decomposes it per
+// the paper's Fig. 2, schedules the hierarchy over the host's threads, and
+// refines a perturbed structure, writing before/after XYZ files.
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "constraints/helix_gen.hpp"
+#include "core/assign.hpp"
+#include "core/hier_solver.hpp"
+#include "core/schedule.hpp"
+#include "core/work_model.hpp"
+#include "molecule/rna_helix.hpp"
+#include "molecule/xyz_io.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+using namespace phmse;
+
+int main() {
+  // The molecule and its measurements.
+  const mol::HelixModel model = mol::build_helix(8);
+  cons::HelixNoise noise;
+  noise.anchor_first_pair = true;  // pin the global frame
+  const cons::ConstraintSet data =
+      cons::generate_helix_constraints(model, noise);
+  std::printf("helix: %lld bp, %lld atoms, %lld constraints\n",
+              static_cast<long long>(model.num_pairs()),
+              static_cast<long long>(model.num_atoms()),
+              static_cast<long long>(data.size()));
+
+  // Hierarchical decomposition (paper Fig. 2) and constraint assignment.
+  core::Hierarchy hierarchy = core::build_helix_hierarchy(model);
+  const core::AssignStats stats = core::assign_constraints(hierarchy, data);
+  std::printf("hierarchy: %lld nodes, depth %lld; %lld constraints on "
+              "leaves, %lld at the root\n",
+              static_cast<long long>(hierarchy.num_nodes()),
+              static_cast<long long>(hierarchy.depth()),
+              static_cast<long long>(stats.on_leaves),
+              static_cast<long long>(stats.per_level[0]));
+
+  // Schedule over the host's hardware threads and solve in parallel.
+  const int threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  core::estimate_work(hierarchy, core::WorkModel{}, 16);
+  core::assign_processors(hierarchy, threads);
+
+  Rng rng(7);
+  linalg::Vector initial = model.topology.true_state();
+  for (auto& v : initial) v += rng.gaussian(0.0, 0.5);
+  std::printf("initial RMSD to truth: %.3f A\n",
+              model.topology.rmsd_to_truth(initial));
+
+  {
+    std::ofstream f("helix_initial.xyz");
+    mol::write_xyz(f, model.topology, initial, "perturbed initial estimate");
+  }
+
+  par::ThreadPool pool(threads);
+  core::HierSolveOptions opts;
+  opts.prior_sigma = 0.5;
+  opts.max_cycles = 20;
+  opts.tolerance = 0.02;
+  Stopwatch sw;
+  const core::HierSolveResult result =
+      core::solve_hierarchical_threaded(hierarchy, initial, opts, pool);
+  std::printf("solved on %d thread(s) in %.2f s wall, %d cycles "
+              "(converged: %s)\n",
+              threads, sw.seconds(), result.cycles,
+              result.converged ? "yes" : "no");
+
+  std::printf("final RMSD to truth:  %.3f A\n",
+              model.topology.rmsd_to_truth(result.state.x));
+  std::printf("constraint RMS residual: %.3f -> %.3f\n",
+              cons::rms_residual(data, model.topology, initial),
+              cons::rms_residual(data, model.topology, result.state.x));
+
+  {
+    std::ofstream f("helix_refined.xyz");
+    mol::write_xyz(f, model.topology, result.state.x, "refined estimate");
+  }
+  std::printf("wrote helix_initial.xyz and helix_refined.xyz\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "constraints/constraint.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace phmse::cons {
+namespace {
+
+using mol::Vec3;
+
+constexpr double kDegenerate = 1e-9;
+
+double eval_distance(const Vec3& a, const Vec3& b, Gradient* grad) {
+  const Vec3 u = a - b;
+  const double d = u.norm();
+  if (grad != nullptr) {
+    if (d > kDegenerate) {
+      const Vec3 g = u * (1.0 / d);
+      grad->d[0] = g;
+      grad->d[1] = g * -1.0;
+    } else {
+      grad->d[0] = Vec3{};
+      grad->d[1] = Vec3{};
+    }
+  }
+  return d;
+}
+
+double eval_angle(const Vec3& a, const Vec3& b, const Vec3& c,
+                  Gradient* grad) {
+  const Vec3 u = a - b;
+  const Vec3 v = c - b;
+  const double nu = u.norm();
+  const double nv = v.norm();
+  if (nu < kDegenerate || nv < kDegenerate) {
+    if (grad != nullptr) *grad = Gradient{};
+    return 0.0;
+  }
+  double cosine = u.dot(v) / (nu * nv);
+  cosine = cosine > 1.0 ? 1.0 : (cosine < -1.0 ? -1.0 : cosine);
+  const double theta = std::acos(cosine);
+  if (grad != nullptr) {
+    const double sine = std::sqrt(std::max(0.0, 1.0 - cosine * cosine));
+    if (sine < kDegenerate) {
+      *grad = Gradient{};
+    } else {
+      // d(theta)/da = -1/sin * d(cos)/da, etc.
+      const Vec3 dcos_da = (v * (1.0 / (nu * nv))) - u * (cosine / (nu * nu));
+      const Vec3 dcos_dc = (u * (1.0 / (nu * nv))) - v * (cosine / (nv * nv));
+      grad->d[0] = dcos_da * (-1.0 / sine);
+      grad->d[2] = dcos_dc * (-1.0 / sine);
+      grad->d[1] = (grad->d[0] + grad->d[2]) * -1.0;
+    }
+  }
+  return theta;
+}
+
+double eval_torsion(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d,
+                    Gradient* grad) {
+  const Vec3 b1 = b - a;
+  const Vec3 b2 = c - b;
+  const Vec3 b3 = d - c;
+  const Vec3 n1 = b1.cross(b2);
+  const Vec3 n2 = b2.cross(b3);
+  const double nb2 = b2.norm();
+  const double n1sq = n1.norm2();
+  const double n2sq = n2.norm2();
+  if (nb2 < kDegenerate || n1sq < kDegenerate || n2sq < kDegenerate) {
+    if (grad != nullptr) *grad = Gradient{};
+    return 0.0;
+  }
+  // Same IUPAC sign convention as mol::dihedral.
+  const double phi =
+      std::atan2(b2.dot(n1.cross(n2)) / nb2, n1.dot(n2));
+  if (grad != nullptr) {
+    // Standard analytic dihedral gradient (Blondel-Karplus form, adapted to
+    // the b1 = b-a, b2 = c-b, b3 = d-c bond vectors; validated against
+    // finite differences in tests/constraint_test.cpp).
+    const Vec3 dphi_da = n1 * (-nb2 / n1sq);
+    const Vec3 dphi_dd = n2 * (nb2 / n2sq);
+    const double s12 = b1.dot(b2) / (nb2 * nb2);
+    const double s32 = b3.dot(b2) / (nb2 * nb2);
+    grad->d[0] = dphi_da;
+    grad->d[1] = dphi_da * (-1.0 - s12) + dphi_dd * s32;
+    grad->d[2] = dphi_da * s12 + dphi_dd * (-1.0 - s32);
+    grad->d[3] = dphi_dd;
+  }
+  return phi;
+}
+
+double eval_position(const Vec3& a, int axis, Gradient* grad) {
+  PHMSE_ASSERT(axis >= 0 && axis <= 2);
+  if (grad != nullptr) {
+    *grad = Gradient{};
+    Vec3 g;
+    (axis == 0 ? g.x : axis == 1 ? g.y : g.z) = 1.0;
+    grad->d[0] = g;
+  }
+  return axis == 0 ? a.x : axis == 1 ? a.y : a.z;
+}
+
+double eval(const Constraint& c, const std::array<Vec3, 4>& pos,
+            Gradient* grad) {
+  switch (c.kind) {
+    case Kind::kDistance:
+      return eval_distance(pos[0], pos[1], grad);
+    case Kind::kAngle:
+      return eval_angle(pos[0], pos[1], pos[2], grad);
+    case Kind::kTorsion:
+      return eval_torsion(pos[0], pos[1], pos[2], pos[3], grad);
+    case Kind::kPosition:
+      return eval_position(pos[0], c.axis, grad);
+  }
+  PHMSE_CHECK(false, "unknown constraint kind");
+  return 0.0;
+}
+
+}  // namespace
+
+Index arity(Kind kind) {
+  switch (kind) {
+    case Kind::kDistance: return 2;
+    case Kind::kAngle: return 3;
+    case Kind::kTorsion: return 4;
+    case Kind::kPosition: return 1;
+  }
+  PHMSE_CHECK(false, "unknown constraint kind");
+  return 0;
+}
+
+double evaluate(const Constraint& c, const std::array<mol::Vec3, 4>& pos) {
+  return eval(c, pos, nullptr);
+}
+
+double evaluate_with_gradient(const Constraint& c,
+                              const std::array<mol::Vec3, 4>& pos,
+                              Gradient& grad) {
+  return eval(c, pos, &grad);
+}
+
+}  // namespace phmse::cons

@@ -1,0 +1,61 @@
+// Scalar structural constraints and their measurement functions.
+//
+// A constraint is one scalar observation z = h(x) + v of the molecular
+// state (paper Section 2): an interatomic distance, a bond angle, a torsion
+// angle, or a direct position observation of one coordinate.  Each carries
+// the noise variance of its measurement process; the estimator treats
+// scalar constraints batched into vectors (paper Section 4.3 studies the
+// batch dimension).
+#pragma once
+
+#include <array>
+
+#include "molecule/geom.hpp"
+#include "support/types.hpp"
+
+namespace phmse::cons {
+
+/// Kind of measurement function.
+enum class Kind : int {
+  kDistance = 0,  // |p_i - p_j|                       (2 atoms)
+  kAngle,         // bond angle at j of (i, j, k)      (3 atoms)
+  kTorsion,       // dihedral of (i, j, k, l)          (4 atoms)
+  kPosition,      // one coordinate of one atom        (1 atom)
+};
+
+/// Number of atoms the measurement function of `kind` depends on.
+Index arity(Kind kind);
+
+/// One scalar constraint.  Atom ids are global topology indices; the
+/// estimation layer remaps them into a node's local state.
+struct Constraint {
+  Kind kind = Kind::kDistance;
+  std::array<Index, 4> atoms = {0, 0, 0, 0};
+  /// For kPosition: which coordinate (0=x, 1=y, 2=z).
+  int axis = 0;
+  /// Observed value (Angstroms or radians).
+  double observed = 0.0;
+  /// Noise variance of the observation.
+  double variance = 1.0;
+  /// Generator category tag (e.g. the paper's five helix distance
+  /// categories); purely informational.
+  int category = 0;
+};
+
+/// Gradient of a scalar measurement: up to 4 atoms x 3 coordinates.
+struct Gradient {
+  std::array<mol::Vec3, 4> d{};  // d[k] = d h / d position(atoms[k])
+};
+
+/// Evaluates h at the given atom positions.  `pos[k]` is the position of
+/// `c.atoms[k]` (only the first arity(c.kind) entries are read).
+double evaluate(const Constraint& c, const std::array<mol::Vec3, 4>& pos);
+
+/// Evaluates h and its gradient.  Degenerate geometries (zero-length bond,
+/// straight angle) yield a zero gradient rather than NaN, so a stray
+/// configuration cannot poison the filter.
+double evaluate_with_gradient(const Constraint& c,
+                              const std::array<mol::Vec3, 4>& pos,
+                              Gradient& grad);
+
+}  // namespace phmse::cons

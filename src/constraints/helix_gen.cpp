@@ -1,0 +1,163 @@
+#include "constraints/helix_gen.hpp"
+
+#include "support/check.hpp"
+
+namespace phmse::cons {
+namespace {
+
+using mol::BaseGroup;
+using mol::BasePair;
+using mol::HelixModel;
+
+void all_pairs_within(const HelixModel& model, Index begin, Index end,
+                      double sigma, int category, Rng& rng,
+                      ConstraintSet& out) {
+  for (Index i = begin; i < end; ++i) {
+    for (Index j = i + 1; j < end; ++j) {
+      out.add(make_observed(Kind::kDistance, {i, j, 0, 0}, model.topology,
+                            sigma, rng, category));
+    }
+  }
+}
+
+void all_pairs_between(const HelixModel& model, Index b1, Index e1, Index b2,
+                       Index e2, double sigma, int category, Rng& rng,
+                       ConstraintSet& out) {
+  for (Index i = b1; i < e1; ++i) {
+    for (Index j = b2; j < e2; ++j) {
+      out.add(make_observed(Kind::kDistance, {i, j, 0, 0}, model.topology,
+                            sigma, rng, category));
+    }
+  }
+}
+
+// Category 5 backbone links: each backbone atom of base `cur` to the two
+// same-rank and next-rank atoms of the next base's backbone (24 pairs).
+void backbone_links(const HelixModel& model, const BaseGroup& cur,
+                    const BaseGroup& next, double sigma, Rng& rng,
+                    ConstraintSet& out) {
+  const Index n = mol::kBackboneAtoms;
+  for (Index k = 0; k < n; ++k) {
+    const Index a = cur.backbone_begin + k;
+    const Index b0 = next.backbone_begin + k;
+    const Index b1 = next.backbone_begin + (k + 1) % n;
+    out.add(make_observed(Kind::kDistance, {a, b0, 0, 0}, model.topology,
+                          sigma, rng, 5));
+    out.add(make_observed(Kind::kDistance, {a, b1, 0, 0}, model.topology,
+                          sigma, rng, 5));
+  }
+}
+
+}  // namespace
+
+ConstraintSet generate_helix_constraints(const mol::HelixModel& model,
+                                         const HelixNoise& noise) {
+  ConstraintSet out;
+  Rng rng(noise.seed);
+
+  if (noise.anchor_first_pair) {
+    const BasePair& first = model.pairs.front();
+    const std::array<Index, 4> anchors = {
+        first.strand1.backbone_begin, first.strand1.backbone_begin + 5,
+        first.strand2.backbone_begin, first.strand2.backbone_begin + 5};
+    for (Index atom : anchors) {
+      for (int axis = 0; axis < 3; ++axis) {
+        out.add(make_observed(Kind::kPosition, {atom, 0, 0, 0},
+                              model.topology, noise.anchor_sigma, rng, 0,
+                              axis));
+      }
+    }
+  }
+
+  for (const BasePair& pair : model.pairs) {
+    for (const BaseGroup* base : {&pair.strand1, &pair.strand2}) {
+      // Category 1: within-backbone distances.
+      all_pairs_within(model, base->backbone_begin, base->backbone_end,
+                       noise.intra_base_sigma, 1, rng, out);
+      // Category 2: within-sidechain distances.
+      all_pairs_within(model, base->sidechain_begin, base->sidechain_end,
+                       noise.intra_base_sigma, 2, rng, out);
+      // Category 3: backbone-to-sidechain distances of the base.
+      all_pairs_between(model, base->backbone_begin, base->backbone_end,
+                        base->sidechain_begin, base->sidechain_end,
+                        noise.intra_base_sigma, 3, rng, out);
+    }
+    // Category 4: across the base pair — sidechain-sidechain (the
+    // Watson-Crick interface) and backbone-backbone (the groove widths).
+    all_pairs_between(model, pair.strand1.sidechain_begin,
+                      pair.strand1.sidechain_end,
+                      pair.strand2.sidechain_begin,
+                      pair.strand2.sidechain_end, noise.cross_pair_sigma, 4,
+                      rng, out);
+    all_pairs_between(model, pair.strand1.backbone_begin,
+                      pair.strand1.backbone_end, pair.strand2.backbone_begin,
+                      pair.strand2.backbone_end, noise.cross_pair_sigma, 4,
+                      rng, out);
+  }
+
+  // Categories 6-7 (optional): general-chemistry bond angles and torsions
+  // along each backbone chain.
+  if (noise.include_chemistry_angles) {
+    for (const BasePair& pair : model.pairs) {
+      for (const BaseGroup* base : {&pair.strand1, &pair.strand2}) {
+        for (Index a = base->backbone_begin; a + 2 < base->backbone_end;
+             ++a) {
+          out.add(make_observed(Kind::kAngle, {a, a + 1, a + 2, 0},
+                                model.topology, noise.angle_sigma, rng, 6));
+        }
+        for (Index a = base->backbone_begin; a + 3 < base->backbone_end;
+             ++a) {
+          out.add(make_observed(Kind::kTorsion, {a, a + 1, a + 2, a + 3},
+                                model.topology, noise.torsion_sigma, rng,
+                                7));
+        }
+      }
+    }
+  }
+
+  // Category 5: junctions between adjacent base pairs — sidechain stacking
+  // on each strand plus backbone chain links.
+  for (Index p = 0; p + 1 < model.num_pairs(); ++p) {
+    const BasePair& cur = model.pairs[static_cast<std::size_t>(p)];
+    const BasePair& nxt = model.pairs[static_cast<std::size_t>(p + 1)];
+    all_pairs_between(model, cur.strand1.sidechain_begin,
+                      cur.strand1.sidechain_end, nxt.strand1.sidechain_begin,
+                      nxt.strand1.sidechain_end, noise.junction_sigma, 5, rng,
+                      out);
+    all_pairs_between(model, cur.strand2.sidechain_begin,
+                      cur.strand2.sidechain_end, nxt.strand2.sidechain_begin,
+                      nxt.strand2.sidechain_end, noise.junction_sigma, 5, rng,
+                      out);
+    backbone_links(model, cur.strand1, nxt.strand1, noise.junction_sigma, rng,
+                   out);
+    backbone_links(model, cur.strand2, nxt.strand2, noise.junction_sigma, rng,
+                   out);
+  }
+  return out;
+}
+
+Index helix_constraint_count(const std::string& sequence) {
+  const Index bb = mol::kBackboneAtoms;
+  Index total = 0;
+  Index prev_s1 = -1;
+  Index prev_s2 = -1;
+  for (char t1 : sequence) {
+    const Index s1 = mol::sidechain_atoms(t1);
+    const Index s2 = mol::sidechain_atoms(mol::complement(t1));
+    // Categories 1-3, both bases.
+    total += 2 * (bb * (bb - 1) / 2);
+    total += s1 * (s1 - 1) / 2 + s2 * (s2 - 1) / 2;
+    total += bb * s1 + bb * s2;
+    // Category 4.
+    total += s1 * s2 + bb * bb;
+    // Category 5 from the previous pair.
+    if (prev_s1 >= 0) {
+      total += prev_s1 * s1 + prev_s2 * s2 + 2 * (2 * bb);
+    }
+    prev_s1 = s1;
+    prev_s2 = s2;
+  }
+  return total;
+}
+
+}  // namespace phmse::cons

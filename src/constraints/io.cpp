@@ -1,0 +1,154 @@
+#include "constraints/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace phmse::cons {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw Error("constraint file, line " + std::to_string(line) + ": " + what);
+}
+
+Index parse_atom(const std::string& tok, Index num_atoms, int line) {
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(tok, &pos);
+  } catch (const std::exception&) {
+    fail(line, "bad atom id '" + tok + "'");
+  }
+  if (pos != tok.size() || v < 0) fail(line, "bad atom id '" + tok + "'");
+  if (num_atoms >= 0 && v >= num_atoms) {
+    fail(line, "atom id " + tok + " out of range (structure has " +
+                   std::to_string(num_atoms) + " atoms)");
+  }
+  return static_cast<Index>(v);
+}
+
+double parse_num(const std::string& tok, int line, const char* what) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &pos);
+  } catch (const std::exception&) {
+    fail(line, std::string("bad ") + what + " '" + tok + "'");
+  }
+  if (pos != tok.size()) {
+    fail(line, std::string("bad ") + what + " '" + tok + "'");
+  }
+  return v;
+}
+
+int parse_axis(const std::string& tok, int line) {
+  if (tok == "x" || tok == "0") return 0;
+  if (tok == "y" || tok == "1") return 1;
+  if (tok == "z" || tok == "2") return 2;
+  fail(line, "bad axis '" + tok + "' (want x, y or z)");
+}
+
+}  // namespace
+
+ConstraintSet read_constraints(std::istream& is, Index num_atoms) {
+  ConstraintSet out;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank
+
+    std::vector<std::string> tok;
+    for (std::string t; ls >> t;) tok.push_back(t);
+
+    Constraint c;
+    std::size_t expect_atoms = 0;
+    if (kind == "distance") {
+      c.kind = Kind::kDistance;
+      expect_atoms = 2;
+    } else if (kind == "angle") {
+      c.kind = Kind::kAngle;
+      expect_atoms = 3;
+    } else if (kind == "torsion") {
+      c.kind = Kind::kTorsion;
+      expect_atoms = 4;
+    } else if (kind == "position") {
+      c.kind = Kind::kPosition;
+      expect_atoms = 1;
+    } else {
+      fail(line_no, "unknown constraint kind '" + kind + "'");
+    }
+
+    const std::size_t extra = c.kind == Kind::kPosition ? 1 : 0;  // axis
+    if (tok.size() != expect_atoms + extra + 2 &&
+        tok.size() != expect_atoms + extra + 3) {
+      fail(line_no, "expected " + std::to_string(expect_atoms + extra + 2) +
+                        " or " +
+                        std::to_string(expect_atoms + extra + 3) +
+                        " fields after '" + kind + "', got " +
+                        std::to_string(tok.size()));
+    }
+
+    std::size_t t = 0;
+    for (std::size_t a = 0; a < expect_atoms; ++a) {
+      c.atoms[a] = parse_atom(tok[t++], num_atoms, line_no);
+    }
+    if (c.kind == Kind::kPosition) c.axis = parse_axis(tok[t++], line_no);
+    c.observed = parse_num(tok[t++], line_no, "observed value");
+    const double sigma = parse_num(tok[t++], line_no, "sigma");
+    if (sigma <= 0.0) fail(line_no, "sigma must be positive");
+    c.variance = sigma * sigma;
+    if (t < tok.size()) {
+      c.category =
+          static_cast<int>(parse_num(tok[t++], line_no, "category"));
+    }
+    out.add(c);
+  }
+  return out;
+}
+
+ConstraintSet read_constraints_file(const std::string& path,
+                                    Index num_atoms) {
+  std::ifstream f(path);
+  PHMSE_CHECK(f.good(), "cannot open constraint file: " + path);
+  return read_constraints(f, num_atoms);
+}
+
+void write_constraints(std::ostream& os, const ConstraintSet& set,
+                       const std::string& comment) {
+  os << "# PHMSE constraint file";
+  if (!comment.empty()) os << " — " << comment;
+  os << "\n# " << set.size() << " constraints\n";
+  os.precision(12);
+  for (const Constraint& c : set.all()) {
+    switch (c.kind) {
+      case Kind::kDistance:
+        os << "distance " << c.atoms[0] << ' ' << c.atoms[1];
+        break;
+      case Kind::kAngle:
+        os << "angle " << c.atoms[0] << ' ' << c.atoms[1] << ' '
+           << c.atoms[2];
+        break;
+      case Kind::kTorsion:
+        os << "torsion " << c.atoms[0] << ' ' << c.atoms[1] << ' '
+           << c.atoms[2] << ' ' << c.atoms[3];
+        break;
+      case Kind::kPosition:
+        os << "position " << c.atoms[0] << ' '
+           << (c.axis == 0 ? 'x' : c.axis == 1 ? 'y' : 'z');
+        break;
+    }
+    os << ' ' << c.observed << ' ' << std::sqrt(c.variance) << ' '
+       << c.category << '\n';
+  }
+}
+
+}  // namespace phmse::cons

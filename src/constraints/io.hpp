@@ -1,0 +1,36 @@
+// Plain-text constraint file I/O.
+//
+// A line-oriented format for exchanging measurement sets, used by the
+// phmse_solve command-line tool:
+//
+//   # comments and blank lines are ignored
+//   distance <atom_i> <atom_j> <observed_A> <sigma_A> [category]
+//   angle    <i> <j> <k> <observed_rad> <sigma_rad> [category]
+//   torsion  <i> <j> <k> <l> <observed_rad> <sigma_rad> [category]
+//   position <atom> <axis:x|y|z> <observed_A> <sigma_A> [category]
+//
+// Values are Angstroms and radians.  Atom ids are 0-based indices into the
+// accompanying structure file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "constraints/set.hpp"
+
+namespace phmse::cons {
+
+/// Parses a constraint stream; throws phmse::Error with a line number on
+/// malformed input.  `num_atoms` bounds the atom ids (pass a negative
+/// value to skip the check).
+ConstraintSet read_constraints(std::istream& is, Index num_atoms = -1);
+
+/// Convenience: reads from a file path.
+ConstraintSet read_constraints_file(const std::string& path,
+                                    Index num_atoms = -1);
+
+/// Writes `set` in the same format (with a header comment).
+void write_constraints(std::ostream& os, const ConstraintSet& set,
+                       const std::string& comment = "");
+
+}  // namespace phmse::cons

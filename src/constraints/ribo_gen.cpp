@@ -1,0 +1,117 @@
+#include "constraints/ribo_gen.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace phmse::cons {
+namespace {
+
+using mol::Ribo30sModel;
+using mol::Segment;
+
+// Indices of the `k` nearest segments to `from` among `candidates`
+// (by layout-center distance, excluding `from` itself).
+std::vector<Index> nearest_segments(const Ribo30sModel& model, Index from,
+                                    const std::vector<Index>& candidates,
+                                    int k) {
+  const auto& segs = model.segments;
+  std::vector<std::pair<double, Index>> dist;
+  dist.reserve(candidates.size());
+  for (Index j : candidates) {
+    if (j == from) continue;
+    const double d = mol::distance(segs[static_cast<std::size_t>(from)].center,
+                                   segs[static_cast<std::size_t>(j)].center);
+    dist.emplace_back(d, j);
+  }
+  const std::size_t take = std::min<std::size_t>(dist.size(),
+                                                 static_cast<std::size_t>(k));
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(take),
+                    dist.end());
+  std::vector<Index> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(dist[i].second);
+  return out;
+}
+
+// Adds `count` atom-pair distance constraints between two segments,
+// spreading the picked atoms across both ranges deterministically.
+void link_segments(const Ribo30sModel& model, const Segment& a,
+                   const Segment& b, int count, double sigma, int category,
+                   Rng& rng, ConstraintSet& out) {
+  for (int p = 0; p < count; ++p) {
+    const Index ai = a.begin + (p * 2654435761u) % a.size();
+    const Index bi = b.begin + (p * 2246822519u + 1) % b.size();
+    out.add(make_observed(Kind::kDistance, {ai, bi, 0, 0}, model.topology,
+                          sigma, rng, category));
+  }
+}
+
+}  // namespace
+
+ConstraintSet generate_ribo_constraints(const mol::Ribo30sModel& model,
+                                        const RiboGenOptions& options) {
+  ConstraintSet out;
+  Rng rng(options.seed);
+
+  std::vector<Index> rna_segments;
+  std::vector<Index> protein_segments;
+  for (Index s = 0; s < model.num_segments(); ++s) {
+    const Segment& seg = model.segments[static_cast<std::size_t>(s)];
+    if (seg.kind == Segment::Kind::kProtein) {
+      protein_segments.push_back(s);
+    } else {
+      rna_segments.push_back(s);
+    }
+  }
+
+  // Category 1: intra-segment geometry (all pairs).
+  for (Index s : rna_segments) {
+    const Segment& seg = model.segments[static_cast<std::size_t>(s)];
+    for (Index i = seg.begin; i < seg.end; ++i) {
+      for (Index j = i + 1; j < seg.end; ++j) {
+        out.add(make_observed(Kind::kDistance, {i, j, 0, 0}, model.topology,
+                              options.intra_sigma, rng, 1));
+      }
+    }
+  }
+
+  // Category 2: RNA-to-RNA links between nearby segments.
+  std::set<std::pair<Index, Index>> linked;
+  for (Index s : rna_segments) {
+    for (Index t : nearest_segments(model, s, rna_segments,
+                                    options.neighbours)) {
+      const auto key = std::minmax(s, t);
+      if (!linked.insert({key.first, key.second}).second) continue;
+      link_segments(model, model.segments[static_cast<std::size_t>(s)],
+                    model.segments[static_cast<std::size_t>(t)],
+                    options.pairs_per_link, options.inter_sigma, 2, rng, out);
+    }
+  }
+
+  // Category 3: RNA segment to its nearest protein.
+  for (Index s : rna_segments) {
+    const auto near = nearest_segments(model, s, protein_segments, 1);
+    if (near.empty()) continue;
+    link_segments(model, model.segments[static_cast<std::size_t>(s)],
+                  model.segments[static_cast<std::size_t>(near[0])],
+                  options.pairs_per_protein_link, options.protein_sigma, 3,
+                  rng, out);
+  }
+
+  // Category 4: protein anchors (neutron map).
+  for (Index s : protein_segments) {
+    const Segment& seg = model.segments[static_cast<std::size_t>(s)];
+    for (int axis = 0; axis < 3; ++axis) {
+      out.add(make_observed(Kind::kPosition, {seg.begin, 0, 0, 0},
+                            model.topology, options.anchor_sigma, rng, 4,
+                            axis));
+    }
+  }
+  return out;
+}
+
+}  // namespace phmse::cons

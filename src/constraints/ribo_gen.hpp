@@ -1,0 +1,38 @@
+// Constraint generator for the synthetic 30S ribosome problem.
+//
+// The paper's ribo30S problem has ~6500 constraints: geometric constraints
+// within helices and coils, experimental distances between helices, and
+// distances from helices to the neutron-mapped proteins, which act as
+// reference points.  Categories:
+//   1. intra-segment distances (all pairs within a helix/coil);
+//   2. RNA segment-to-segment distances (k-nearest neighbours by layout);
+//   3. RNA segment-to-protein distances;
+//   4. protein position anchors (the neutron map), as direct coordinate
+//      observations — these also fix the global reference frame.
+#pragma once
+
+#include "constraints/set.hpp"
+#include "molecule/ribo30s.hpp"
+
+namespace phmse::cons {
+
+/// Generation parameters; defaults land near the paper's ~6500 constraints.
+struct RiboGenOptions {
+  double intra_sigma = 0.08;
+  double inter_sigma = 1.0;     // experimental helix-helix data is coarse
+  double protein_sigma = 0.8;   // helix-protein distances
+  double anchor_sigma = 0.5;    // neutron-map positional accuracy
+  /// Each RNA segment links to its k nearest RNA segments...
+  int neighbours = 6;
+  /// ...with this many atom-pair distances per link.
+  int pairs_per_link = 7;
+  /// And to its nearest protein with this many atom-pair distances.
+  int pairs_per_protein_link = 4;
+  std::uint64_t seed = 0x16517ULL;
+};
+
+/// Generates the constraint set for a 30S model.
+ConstraintSet generate_ribo_constraints(const mol::Ribo30sModel& model,
+                                        const RiboGenOptions& options = {});
+
+}  // namespace phmse::cons

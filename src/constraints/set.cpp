@@ -1,0 +1,73 @@
+#include "constraints/set.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace phmse::cons {
+
+void ConstraintSet::append(const ConstraintSet& other) {
+  constraints_.insert(constraints_.end(), other.constraints_.begin(),
+                      other.constraints_.end());
+}
+
+std::pair<Index, Index> ConstraintSet::atom_span() const {
+  if (constraints_.empty()) return {0, -1};
+  Index lo = constraints_[0].atoms[0];
+  Index hi = lo;
+  for (const Constraint& c : constraints_) {
+    const Index n = arity(c.kind);
+    for (Index k = 0; k < n; ++k) {
+      lo = std::min(lo, c.atoms[static_cast<std::size_t>(k)]);
+      hi = std::max(hi, c.atoms[static_cast<std::size_t>(k)]);
+    }
+  }
+  return {lo, hi};
+}
+
+Index ConstraintSet::count_category(int category) const {
+  Index n = 0;
+  for (const Constraint& c : constraints_) {
+    if (c.category == category) ++n;
+  }
+  return n;
+}
+
+Constraint make_observed(Kind kind, const std::array<Index, 4>& atoms,
+                         const mol::Topology& topology, double sigma,
+                         Rng& rng, int category, int axis) {
+  PHMSE_CHECK(sigma > 0.0, "observation noise must be positive");
+  Constraint c;
+  c.kind = kind;
+  c.atoms = atoms;
+  c.axis = axis;
+  c.category = category;
+  c.variance = sigma * sigma;
+
+  std::array<mol::Vec3, 4> pos{};
+  for (Index k = 0; k < arity(kind); ++k) {
+    pos[static_cast<std::size_t>(k)] =
+        topology.atom(atoms[static_cast<std::size_t>(k)]).position;
+  }
+  c.observed = evaluate(c, pos) + rng.gaussian(0.0, sigma);
+  return c;
+}
+
+double rms_residual(const ConstraintSet& set, const mol::Topology& topology,
+                    const linalg::Vector& state) {
+  if (set.empty()) return 0.0;
+  const auto positions = topology.positions_from_state(state);
+  double sum = 0.0;
+  for (const Constraint& c : set.all()) {
+    std::array<mol::Vec3, 4> pos{};
+    for (Index k = 0; k < arity(c.kind); ++k) {
+      pos[static_cast<std::size_t>(k)] =
+          positions[static_cast<std::size_t>(c.atoms[static_cast<std::size_t>(k)])];
+    }
+    const double r = c.observed - evaluate(c, pos);
+    sum += r * r;
+  }
+  return std::sqrt(sum / static_cast<double>(set.size()));
+}
+
+}  // namespace phmse::cons

@@ -1,0 +1,54 @@
+// Collections of constraints.
+#pragma once
+
+#include <vector>
+
+#include "constraints/constraint.hpp"
+#include "molecule/topology.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::cons {
+
+/// An ordered collection of scalar constraints.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  void add(const Constraint& c) { constraints_.push_back(c); }
+
+  /// Appends all of `other`'s constraints.
+  void append(const ConstraintSet& other);
+
+  Index size() const { return static_cast<Index>(constraints_.size()); }
+  bool empty() const { return constraints_.empty(); }
+
+  const Constraint& operator[](Index i) const {
+    PHMSE_ASSERT(i >= 0 && i < size());
+    return constraints_[static_cast<std::size_t>(i)];
+  }
+
+  const std::vector<Constraint>& all() const { return constraints_; }
+
+  /// Smallest / largest atom id referenced (the whole set must fit inside
+  /// one hierarchy node's contiguous atom range).  Empty set: {0, -1}.
+  std::pair<Index, Index> atom_span() const;
+
+  /// Count of constraints tagged with `category`.
+  Index count_category(int category) const;
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+/// Creates a constraint of `kind` over `atoms`, observing the ground-truth
+/// value of `topology` plus Gaussian noise of standard deviation `sigma`.
+Constraint make_observed(Kind kind, const std::array<Index, 4>& atoms,
+                         const mol::Topology& topology, double sigma,
+                         Rng& rng, int category = 0, int axis = 0);
+
+/// Root-mean-square residual of the set at the positions in `state`
+/// (observed minus predicted); the convergence studies report this.
+double rms_residual(const ConstraintSet& set, const mol::Topology& topology,
+                    const linalg::Vector& state);
+
+}  // namespace phmse::cons

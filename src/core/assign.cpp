@@ -1,0 +1,49 @@
+#include "core/assign.hpp"
+
+#include "support/check.hpp"
+
+namespace phmse::core {
+
+AssignStats assign_constraints(Hierarchy& hierarchy,
+                               const cons::ConstraintSet& set) {
+  AssignStats stats;
+  stats.total = set.size();
+  stats.per_level.assign(static_cast<std::size_t>(hierarchy.depth()), 0);
+
+  for (const cons::Constraint& c : set.all()) {
+    Index lo = c.atoms[0];
+    Index hi = lo;
+    for (Index k = 0; k < cons::arity(c.kind); ++k) {
+      lo = std::min(lo, c.atoms[static_cast<std::size_t>(k)]);
+      hi = std::max(hi, c.atoms[static_cast<std::size_t>(k)]);
+    }
+
+    HierNode* node = &hierarchy.root();
+    PHMSE_CHECK(lo >= node->atom_begin && hi < node->atom_end,
+                "constraint references atoms outside the hierarchy");
+    Index level = 0;
+    for (;;) {
+      HierNode* next = nullptr;
+      for (const auto& child : node->children) {
+        if (lo >= child->atom_begin && hi < child->atom_end) {
+          next = child.get();
+          break;
+        }
+      }
+      if (next == nullptr) break;
+      node = next;
+      ++level;
+    }
+    node->constraints.add(c);
+    stats.per_level[static_cast<std::size_t>(level)] += 1;
+    if (node->is_leaf()) ++stats.on_leaves;
+  }
+  return stats;
+}
+
+void clear_constraints(Hierarchy& hierarchy) {
+  hierarchy.for_each_post_order(
+      [](HierNode& node) { node.constraints = cons::ConstraintSet{}; });
+}
+
+}  // namespace phmse::core

@@ -1,0 +1,31 @@
+// Constraint-to-node assignment.
+//
+// "We try to apply constraints at the lowest level of the tree possible"
+// (paper Section 3): each constraint is attached to the deepest node whose
+// atom range contains every atom the constraint references.
+#pragma once
+
+#include "constraints/set.hpp"
+#include "core/hierarchy.hpp"
+
+namespace phmse::core {
+
+/// Statistics of an assignment, used by tests and the locality ablation.
+struct AssignStats {
+  Index total = 0;
+  /// Constraints per depth level (0 = root).
+  std::vector<Index> per_level;
+  /// Constraints landing on leaves.
+  Index on_leaves = 0;
+};
+
+/// Distributes `set` over the hierarchy (appending to each node's
+/// constraint list) and returns assignment statistics.  Every constraint
+/// must fit inside the root's atom range.
+AssignStats assign_constraints(Hierarchy& hierarchy,
+                               const cons::ConstraintSet& set);
+
+/// Removes all constraints from every node.
+void clear_constraints(Hierarchy& hierarchy);
+
+}  // namespace phmse::core

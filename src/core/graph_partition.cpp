@@ -1,0 +1,331 @@
+#include "core/graph_partition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace phmse::core {
+namespace {
+
+// Adjacency of the constraint graph restricted to a vertex subset, in
+// original atom ids.
+struct Graph {
+  // adj[v] = (neighbour, weight) pairs.
+  std::vector<std::vector<std::pair<Index, double>>> adj;
+
+  explicit Graph(Index n) : adj(static_cast<std::size_t>(n)) {}
+
+  void add_edge(Index a, Index b, double w) {
+    adj[static_cast<std::size_t>(a)].emplace_back(b, w);
+    adj[static_cast<std::size_t>(b)].emplace_back(a, w);
+  }
+};
+
+Graph build_graph(Index num_atoms, const cons::ConstraintSet& constraints) {
+  // Coalesce parallel edges first.
+  std::map<std::pair<Index, Index>, double> edges;
+  for (const cons::Constraint& c : constraints.all()) {
+    const Index na = cons::arity(c.kind);
+    for (Index i = 0; i < na; ++i) {
+      for (Index j = i + 1; j < na; ++j) {
+        Index a = c.atoms[static_cast<std::size_t>(i)];
+        Index b = c.atoms[static_cast<std::size_t>(j)];
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        edges[{a, b}] += 1.0;
+      }
+    }
+  }
+  Graph g(num_atoms);
+  for (const auto& [key, w] : edges) {
+    g.add_edge(key.first, key.second, w);
+  }
+  return g;
+}
+
+// Bisects `vertices` (original ids) into two balanced halves with a small
+// cut: BFS growth from a peripheral seed, then FM-style refinement.
+// Returns the vertex list reordered so the first `split` entries are side
+// 0; outputs `split`.
+std::size_t bisect(const Graph& g, std::vector<Index>& vertices,
+                   const GraphPartitionOptions& options) {
+  const std::size_t n = vertices.size();
+  const std::size_t half = n / 2;
+
+  std::vector<char> in_set(g.adj.size(), 0);
+  for (Index v : vertices) in_set[static_cast<std::size_t>(v)] = 1;
+
+  // Peripheral seed: two BFS sweeps from the first vertex.
+  auto bfs_far = [&](Index seed) {
+    std::vector<char> seen(g.adj.size(), 0);
+    std::deque<Index> queue{seed};
+    seen[static_cast<std::size_t>(seed)] = 1;
+    Index last = seed;
+    while (!queue.empty()) {
+      const Index v = queue.front();
+      queue.pop_front();
+      last = v;
+      for (const auto& [u, w] : g.adj[static_cast<std::size_t>(v)]) {
+        (void)w;
+        if (in_set[static_cast<std::size_t>(u)] &&
+            !seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = 1;
+          queue.push_back(u);
+        }
+      }
+    }
+    return last;
+  };
+  const Index seed = bfs_far(bfs_far(vertices.front()));
+
+  // Grow side 0 by BFS from the seed to half the vertices (disconnected
+  // leftovers are appended in input order).
+  std::vector<char> side(g.adj.size(), 1);  // 1 = side B
+  {
+    std::vector<char> seen(g.adj.size(), 0);
+    std::deque<Index> queue{seed};
+    seen[static_cast<std::size_t>(seed)] = 1;
+    std::size_t taken = 0;
+    while (taken < half) {
+      Index v;
+      if (!queue.empty()) {
+        v = queue.front();
+        queue.pop_front();
+      } else {
+        // Disconnected: pick the next unvisited vertex.
+        v = -1;
+        for (Index u : vertices) {
+          if (!seen[static_cast<std::size_t>(u)]) {
+            v = u;
+            seen[static_cast<std::size_t>(u)] = 1;
+            break;
+          }
+        }
+        if (v < 0) break;
+      }
+      side[static_cast<std::size_t>(v)] = 0;
+      ++taken;
+      for (const auto& [u, w] : g.adj[static_cast<std::size_t>(v)]) {
+        (void)w;
+        if (in_set[static_cast<std::size_t>(u)] &&
+            !seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = 1;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+
+  // FM refinement: greedily move the best-gain vertex subject to balance,
+  // one pass = every vertex moved at most once; keep the best prefix.
+  const double slack = options.balance_slack;
+  const std::size_t lo =
+      static_cast<std::size_t>(static_cast<double>(half) * (1.0 - slack));
+  const std::size_t hi = std::min(
+      n - 1,
+      static_cast<std::size_t>(static_cast<double>(half) * (1.0 + slack)) +
+          1);
+
+  auto gain_of = [&](Index v) {
+    double gain = 0.0;
+    const char s = side[static_cast<std::size_t>(v)];
+    for (const auto& [u, w] : g.adj[static_cast<std::size_t>(v)]) {
+      if (!in_set[static_cast<std::size_t>(u)]) continue;
+      gain += side[static_cast<std::size_t>(u)] == s ? -w : w;
+    }
+    return gain;
+  };
+
+  for (int pass = 0; pass < options.refinement_passes; ++pass) {
+    std::vector<char> moved(g.adj.size(), 0);
+    std::size_t size0 = 0;
+    for (Index v : vertices) {
+      if (side[static_cast<std::size_t>(v)] == 0) ++size0;
+    }
+
+    double cumulative = 0.0;
+    double best_cumulative = 0.0;
+    std::vector<Index> move_order;
+    std::size_t best_prefix = 0;
+
+    for (std::size_t step = 0; step < n; ++step) {
+      // Best unmoved vertex whose move keeps balance.
+      Index best_v = -1;
+      double best_gain = -1e300;
+      for (Index v : vertices) {
+        if (moved[static_cast<std::size_t>(v)]) continue;
+        const bool from0 = side[static_cast<std::size_t>(v)] == 0;
+        const std::size_t new_size0 = from0 ? size0 - 1 : size0 + 1;
+        if (new_size0 < lo || new_size0 > hi) continue;
+        const double gn = gain_of(v);
+        if (gn > best_gain) {
+          best_gain = gn;
+          best_v = v;
+        }
+      }
+      if (best_v < 0) break;
+      moved[static_cast<std::size_t>(best_v)] = 1;
+      side[static_cast<std::size_t>(best_v)] ^= 1;
+      size0 += side[static_cast<std::size_t>(best_v)] == 0 ? 1 : -1;
+      cumulative += best_gain;
+      move_order.push_back(best_v);
+      if (cumulative > best_cumulative) {
+        best_cumulative = cumulative;
+        best_prefix = move_order.size();
+      }
+    }
+    // Roll back past the best prefix.
+    for (std::size_t i = move_order.size(); i > best_prefix; --i) {
+      side[static_cast<std::size_t>(move_order[i - 1])] ^= 1;
+    }
+    if (best_prefix == 0) break;  // converged
+  }
+
+  // Stable partition of the vertex list: side 0 first.
+  std::stable_partition(vertices.begin(), vertices.end(), [&](Index v) {
+    return side[static_cast<std::size_t>(v)] == 0;
+  });
+  std::size_t split = 0;
+  while (split < n && side[static_cast<std::size_t>(vertices[split])] == 0) {
+    ++split;
+  }
+  // Degenerate split (all on one side): fall back to the middle.
+  if (split == 0 || split == n) split = half;
+  return split;
+}
+
+// Recursively partitions vertices[lo, hi), appends the final order to
+// `order`, and builds the tree node over NEW ids [new_begin, ...).
+std::unique_ptr<HierNode> partition_recursive(
+    const Graph& g, std::vector<Index>& vertices, std::size_t lo,
+    std::size_t hi, Index new_begin, const GraphPartitionOptions& options,
+    const std::string& name) {
+  auto node = std::make_unique<HierNode>();
+  node->name = name;
+  node->atom_begin = new_begin;
+  node->atom_end = new_begin + static_cast<Index>(hi - lo);
+  if (static_cast<Index>(hi - lo) <= options.max_leaf_atoms) return node;
+
+  std::vector<Index> sub(vertices.begin() + static_cast<std::ptrdiff_t>(lo),
+                         vertices.begin() + static_cast<std::ptrdiff_t>(hi));
+  const std::size_t split = bisect(g, sub, options);
+  std::copy(sub.begin(), sub.end(),
+            vertices.begin() + static_cast<std::ptrdiff_t>(lo));
+
+  node->children.push_back(partition_recursive(
+      g, vertices, lo, lo + split, new_begin, options, name + "/L"));
+  node->children.push_back(partition_recursive(
+      g, vertices, lo + split, hi, new_begin + static_cast<Index>(split),
+      options, name + "/R"));
+  return node;
+}
+
+}  // namespace
+
+Decomposition decompose_by_graph_partition(
+    Index num_atoms, const cons::ConstraintSet& constraints,
+    const GraphPartitionOptions& options) {
+  PHMSE_CHECK(num_atoms >= 1, "need at least one atom");
+  PHMSE_CHECK(options.max_leaf_atoms >= 1, "leaf size must be >= 1");
+
+  const Graph g = build_graph(num_atoms, constraints);
+  std::vector<Index> vertices(static_cast<std::size_t>(num_atoms));
+  std::iota(vertices.begin(), vertices.end(), Index{0});
+
+  auto root = partition_recursive(g, vertices, 0, vertices.size(), 0,
+                                  options, "gp");
+
+  Decomposition out{std::move(vertices), {}, Hierarchy(std::move(root))};
+  out.rank.assign(static_cast<std::size_t>(num_atoms), 0);
+  for (Index new_id = 0; new_id < num_atoms; ++new_id) {
+    out.rank[static_cast<std::size_t>(
+        out.order[static_cast<std::size_t>(new_id)])] = new_id;
+  }
+  out.hierarchy.validate();
+  return out;
+}
+
+cons::ConstraintSet remap_constraints(const cons::ConstraintSet& set,
+                                      const std::vector<Index>& rank) {
+  cons::ConstraintSet out;
+  for (cons::Constraint c : set.all()) {
+    for (Index k = 0; k < cons::arity(c.kind); ++k) {
+      auto& atom = c.atoms[static_cast<std::size_t>(k)];
+      PHMSE_CHECK(atom >= 0 && atom < static_cast<Index>(rank.size()),
+                  "constraint atom outside the permutation");
+      atom = rank[static_cast<std::size_t>(atom)];
+    }
+    out.add(c);
+  }
+  return out;
+}
+
+mol::Topology remap_topology(const mol::Topology& topology,
+                             const std::vector<Index>& order) {
+  PHMSE_CHECK(static_cast<Index>(order.size()) == topology.size(),
+              "permutation size mismatch");
+  mol::Topology out;
+  for (Index new_id = 0; new_id < topology.size(); ++new_id) {
+    const mol::Atom& a =
+        topology.atom(order[static_cast<std::size_t>(new_id)]);
+    out.add_atom(a.label, a.position);
+  }
+  return out;
+}
+
+linalg::Vector remap_state(const linalg::Vector& state,
+                           const std::vector<Index>& order) {
+  PHMSE_CHECK(state.size() == order.size() * 3, "state size mismatch");
+  linalg::Vector out(state.size());
+  for (std::size_t new_id = 0; new_id < order.size(); ++new_id) {
+    const std::size_t old_id = static_cast<std::size_t>(order[new_id]);
+    for (int k = 0; k < 3; ++k) {
+      out[3 * new_id + static_cast<std::size_t>(k)] =
+          state[3 * old_id + static_cast<std::size_t>(k)];
+    }
+  }
+  return out;
+}
+
+linalg::Vector unmap_state(const linalg::Vector& state,
+                           const std::vector<Index>& order) {
+  PHMSE_CHECK(state.size() == order.size() * 3, "state size mismatch");
+  linalg::Vector out(state.size());
+  for (std::size_t new_id = 0; new_id < order.size(); ++new_id) {
+    const std::size_t old_id = static_cast<std::size_t>(order[new_id]);
+    for (int k = 0; k < 3; ++k) {
+      out[3 * old_id + static_cast<std::size_t>(k)] =
+          state[3 * new_id + static_cast<std::size_t>(k)];
+    }
+  }
+  return out;
+}
+
+Index count_cut_constraints(const Hierarchy& hierarchy,
+                            const cons::ConstraintSet& remapped) {
+  const HierNode& root = hierarchy.root();
+  Index cut = 0;
+  for (const cons::Constraint& c : remapped.all()) {
+    Index lo = c.atoms[0];
+    Index hi = lo;
+    for (Index k = 0; k < cons::arity(c.kind); ++k) {
+      lo = std::min(lo, c.atoms[static_cast<std::size_t>(k)]);
+      hi = std::max(hi, c.atoms[static_cast<std::size_t>(k)]);
+    }
+    bool inside_child = false;
+    for (const auto& child : root.children) {
+      if (lo >= child->atom_begin && hi < child->atom_end) {
+        inside_child = true;
+        break;
+      }
+    }
+    if (!inside_child) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace phmse::core

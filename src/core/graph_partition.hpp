@@ -1,0 +1,76 @@
+// Automatic structure decomposition by graph partitioning (paper
+// Section 5): "We can think of the atoms of the molecule as nodes in a
+// graph and constraints between atoms as edges between the nodes.  A
+// heuristic to partition the graph into a small number of loosely coupled
+// subgraphs will lead to an efficient decomposition of the molecular
+// structure."
+//
+// This module implements that proposal: recursive bisection of the
+// constraint graph with BFS-grown initial halves refined by
+// Fiduccia–Mattheyses-style moves, minimizing the weight of constraints
+// cut at each level (cut constraints are exactly the ones forced above the
+// split in the hierarchy).
+//
+// Because hierarchy nodes own contiguous atom ranges, the partitioner also
+// produces an atom *reordering*: atoms are renumbered so every recursive
+// part is contiguous.  Remapping helpers translate topologies, constraint
+// sets and state vectors between the original and partitioned orders.
+#pragma once
+
+#include <vector>
+
+#include "constraints/set.hpp"
+#include "core/hierarchy.hpp"
+#include "molecule/topology.hpp"
+
+namespace phmse::core {
+
+/// Options for the recursive graph bisection.
+struct GraphPartitionOptions {
+  /// Stop splitting below this many atoms.
+  Index max_leaf_atoms = 16;
+  /// Fiduccia–Mattheyses refinement passes per bisection.
+  int refinement_passes = 6;
+  /// Allowed imbalance: each side holds within this factor of half.
+  double balance_slack = 0.15;
+};
+
+/// A decomposition in a permuted atom numbering.
+struct Decomposition {
+  /// order[new_id] = old_id (the permutation applied to atoms).
+  std::vector<Index> order;
+  /// rank[old_id] = new_id (the inverse permutation).
+  std::vector<Index> rank;
+  /// The hierarchy, expressed over the NEW atom ids.
+  Hierarchy hierarchy;
+};
+
+/// Decomposes `num_atoms` atoms by recursively bisecting the constraint
+/// graph of `constraints` (which use ORIGINAL atom ids).
+Decomposition decompose_by_graph_partition(
+    Index num_atoms, const cons::ConstraintSet& constraints,
+    const GraphPartitionOptions& options = {});
+
+/// Rewrites constraint atom ids through rank (old -> new).
+cons::ConstraintSet remap_constraints(const cons::ConstraintSet& set,
+                                      const std::vector<Index>& rank);
+
+/// Reorders a topology so new atom i is the old atom order[i].
+mol::Topology remap_topology(const mol::Topology& topology,
+                             const std::vector<Index>& order);
+
+/// Permutes a state vector from the original layout into the new one.
+linalg::Vector remap_state(const linalg::Vector& state,
+                           const std::vector<Index>& order);
+
+/// Permutes a state vector from the new layout back to the original.
+linalg::Vector unmap_state(const linalg::Vector& state,
+                           const std::vector<Index>& order);
+
+/// Total weight of constraints whose atoms straddle the top-level split of
+/// `hierarchy` — the quantity the partitioner minimizes; exposed for tests
+/// and the decomposition-quality benchmark.
+Index count_cut_constraints(const Hierarchy& hierarchy,
+                            const cons::ConstraintSet& remapped);
+
+}  // namespace phmse::core

@@ -1,0 +1,241 @@
+#include "core/hier_solver.hpp"
+
+#include <cmath>
+
+#include "estimation/update.hpp"
+#include "parallel/team.hpp"
+#include "support/check.hpp"
+
+namespace phmse::core {
+namespace {
+
+using est::BatchUpdater;
+using est::NodeState;
+using linalg::Vector;
+
+// Assembles a node's state from its children: x is the concatenation, C the
+// block-diagonal of the children's covariances (children are uncorrelated
+// until this node's constraints couple them).  Charged as vector/copy
+// traffic.
+NodeState assemble_from_children(par::ExecContext& ctx, const HierNode& node,
+                                 std::vector<NodeState>& child_states) {
+  NodeState state;
+  state.atom_begin = node.atom_begin;
+  state.atom_end = node.atom_end;
+  const Index n = state.dim();
+  state.x.resize(static_cast<std::size_t>(n));
+  state.c.resize_zero(n, n);
+
+  auto cost = [&](Index begin, Index end) {
+    par::KernelStats st;
+    // Each parent row copies one child-row segment; plus the state vector.
+    st.bytes_stream = 16.0 * static_cast<double>(end - begin) *
+                      static_cast<double>(n) /
+                      static_cast<double>(child_states.size());
+    return st;
+  };
+  auto body = [&](Index begin, Index end, int /*lane*/) {
+    for (Index row = begin; row < end; ++row) {
+      // Find the child owning this row (few children; linear scan is fine).
+      Index offset = 0;
+      for (const NodeState& cs : child_states) {
+        const Index cdim = cs.dim();
+        if (row < offset + cdim) {
+          const Index local = row - offset;
+          const auto src = cs.c.row(local);
+          std::copy(src.begin(), src.end(),
+                    state.c.row(row).begin() + offset);
+          state.x[static_cast<std::size_t>(row)] =
+              cs.x[static_cast<std::size_t>(local)];
+          break;
+        }
+        offset += cdim;
+      }
+    }
+  };
+  ctx.parallel(perf::Category::kVector, n, cost, body);
+  return state;
+}
+
+// Updates one node given its children's posteriors (empty for a leaf).
+NodeState update_node(par::ExecContext& ctx, HierNode& node,
+                      const Vector& initial_x,
+                      std::vector<NodeState> child_states,
+                      const HierSolveOptions& options,
+                      BatchUpdater& updater) {
+  NodeState state;
+  if (node.is_leaf()) {
+    state = est::make_state_from_full(initial_x, node.atom_begin,
+                                      node.atom_end, options.prior_sigma);
+  } else {
+    state = assemble_from_children(ctx, node, child_states);
+  }
+  child_states.clear();
+  updater.apply_all(ctx, state, node.constraints, options.batch_size,
+                    options.symmetrize_every);
+  return state;
+}
+
+double rms_delta(const Vector& a, const Vector& b) {
+  PHMSE_CHECK(a.size() == b.size(), "state dimension changed between cycles");
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Generic (single-context) recursion.
+
+NodeState solve_subtree(par::ExecContext& ctx, HierNode& node,
+                        const Vector& initial_x,
+                        const HierSolveOptions& options,
+                        BatchUpdater& updater) {
+  std::vector<NodeState> child_states;
+  child_states.reserve(node.children.size());
+  for (auto& child : node.children) {
+    child_states.push_back(
+        solve_subtree(ctx, *child, initial_x, options, updater));
+  }
+  return update_node(ctx, node, initial_x, std::move(child_states), options,
+                     updater);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated recursion: one SimContext per node over its scheduled range.
+
+NodeState solve_subtree_sim(simarch::SimMachine& machine, HierNode& node,
+                            const Vector& initial_x,
+                            const HierSolveOptions& options,
+                            BatchUpdater& updater) {
+  std::vector<NodeState> child_states;
+  child_states.reserve(node.children.size());
+  for (auto& child : node.children) {
+    child_states.push_back(
+        solve_subtree_sim(machine, *child, initial_x, options, updater));
+  }
+  // The node's team forms once all children are done: the virtual clocks of
+  // its processors join at the max (children ran on disjoint sub-ranges).
+  machine.sync_range(node.proc_first, node.proc_count);
+  simarch::SimContext ctx(machine, node.proc_first, node.proc_count);
+  return update_node(ctx, node, initial_x, std::move(child_states), options,
+                     updater);
+}
+
+// ---------------------------------------------------------------------------
+// Threaded recursion: subtrees with disjoint processor groups run as tasks
+// on their group's first worker; the node's own update runs on a team over
+// its whole range.
+
+NodeState solve_subtree_threaded(par::ThreadPool& pool, HierNode& node,
+                                 const Vector& initial_x,
+                                 const HierSolveOptions& options) {
+  std::vector<NodeState> child_states(node.children.size());
+
+  // Children whose group starts at this node's first worker run inline (we
+  // are already executing on that worker); the rest are dispatched to their
+  // own group's first worker.
+  std::vector<std::size_t> inline_children;
+  std::vector<std::size_t> remote_children;
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (node.children[i]->proc_first == node.proc_first) {
+      inline_children.push_back(i);
+    } else {
+      remote_children.push_back(i);
+    }
+  }
+
+  par::Latch done(static_cast<int>(remote_children.size()));
+  for (std::size_t i : remote_children) {
+    HierNode* child = node.children[i].get();
+    pool.submit(child->proc_first, [&, child, i] {
+      child_states[i] =
+          solve_subtree_threaded(pool, *child, initial_x, options);
+      done.count_down();
+    });
+  }
+  for (std::size_t i : inline_children) {
+    child_states[i] =
+        solve_subtree_threaded(pool, *node.children[i], initial_x, options);
+  }
+  done.wait();
+
+  par::TeamContext ctx(pool, node.proc_first, node.proc_count);
+  BatchUpdater updater;
+  return update_node(ctx, node, initial_x, std::move(child_states), options,
+                     updater);
+}
+
+template <typename CycleFn>
+HierSolveResult run_cycles(const Vector& initial_x,
+                           const HierSolveOptions& options, CycleFn&& cycle) {
+  PHMSE_CHECK(options.max_cycles >= 1, "need at least one cycle");
+  HierSolveResult result;
+  Vector current = initial_x;
+  for (int c = 0; c < options.max_cycles; ++c) {
+    result.state = cycle(current);
+    ++result.cycles;
+    result.last_cycle_delta = rms_delta(result.state.x, current);
+    current = result.state.x;
+    if (options.tolerance > 0.0 &&
+        result.last_cycle_delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+HierSolveResult solve_hierarchical(par::ExecContext& ctx,
+                                   Hierarchy& hierarchy,
+                                   const Vector& initial_x,
+                                   const HierSolveOptions& options) {
+  PHMSE_CHECK(static_cast<Index>(initial_x.size()) == hierarchy.root().dim(),
+              "initial state dimension mismatch");
+  BatchUpdater updater;
+  return run_cycles(initial_x, options, [&](const Vector& x0) {
+    return solve_subtree(ctx, hierarchy.root(), x0, options, updater);
+  });
+}
+
+SimSolveResult solve_hierarchical_sim(Hierarchy& hierarchy,
+                                      const Vector& initial_x,
+                                      const HierSolveOptions& options,
+                                      simarch::SimMachine& machine) {
+  PHMSE_CHECK(static_cast<Index>(initial_x.size()) == hierarchy.root().dim(),
+              "initial state dimension mismatch");
+  machine.reset();
+  BatchUpdater updater;
+  SimSolveResult out;
+  out.result = run_cycles(initial_x, options, [&](const Vector& x0) {
+    return solve_subtree_sim(machine, hierarchy.root(), x0, options, updater);
+  });
+  out.vtime = machine.elapsed();
+  out.breakdown = machine.reported_profile();
+  return out;
+}
+
+HierSolveResult solve_hierarchical_threaded(Hierarchy& hierarchy,
+                                            const Vector& initial_x,
+                                            const HierSolveOptions& options,
+                                            par::ThreadPool& pool) {
+  PHMSE_CHECK(static_cast<Index>(initial_x.size()) == hierarchy.root().dim(),
+              "initial state dimension mismatch");
+  return run_cycles(initial_x, options, [&](const Vector& x0) {
+    NodeState state;
+    par::Latch done(1);
+    pool.submit(hierarchy.root().proc_first, [&] {
+      state = solve_subtree_threaded(pool, hierarchy.root(), x0, options);
+      done.count_down();
+    });
+    done.wait();
+    return state;
+  });
+}
+
+}  // namespace phmse::core

@@ -1,0 +1,80 @@
+// Hierarchical solvers (paper Sections 3 and 4).
+//
+// The estimate is propagated leaf-to-root in post-order.  A leaf starts
+// from the initial state vector slice and the spherical prior; an interior
+// node concatenates its children's posterior states and assembles their
+// covariances as diagonal blocks (the children are mutually uncorrelated
+// until the node's own boundary-spanning constraints are applied); every
+// node then runs the Fig.-1 update over its assigned constraints.
+//
+// Three execution modes share this logic:
+//   * solve_hierarchical          — any ExecContext (serial baseline);
+//   * solve_hierarchical_sim      — virtual processors of a SimMachine,
+//                                   following the static schedule
+//                                   (reproduces the paper's DASH/Challenge
+//                                   speedup studies);
+//   * solve_hierarchical_threaded — real threads on a ThreadPool, following
+//                                   the same schedule (genuine parallelism
+//                                   on multicore hosts).
+// All three apply constraints in the same order and therefore produce
+// identical numerics.
+#pragma once
+
+#include "core/hierarchy.hpp"
+#include "estimation/solver.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simarch/sim_context.hpp"
+
+namespace phmse::core {
+
+/// Options for the hierarchical solve; see est::SolveOptions for the
+/// per-node update parameters.
+struct HierSolveOptions {
+  Index batch_size = 16;
+  int max_cycles = 1;
+  double tolerance = 0.0;
+  /// See est::SolveOptions::prior_sigma.
+  double prior_sigma = 1.0;
+  Index symmetrize_every = 64;
+};
+
+/// Result: the root posterior plus cycle statistics.
+struct HierSolveResult {
+  est::NodeState state;
+  int cycles = 0;
+  double last_cycle_delta = 0.0;
+  bool converged = false;
+};
+
+/// Post-order hierarchical solve on an arbitrary context.  `initial_x` is
+/// the full-molecule initial state (dimension 3 * root atoms).
+HierSolveResult solve_hierarchical(par::ExecContext& ctx,
+                                   Hierarchy& hierarchy,
+                                   const linalg::Vector& initial_x,
+                                   const HierSolveOptions& options);
+
+/// Result of a simulated run.
+struct SimSolveResult {
+  HierSolveResult result;
+  /// Simulated work time (max virtual clock), seconds.
+  double vtime = 0.0;
+  /// Per-category time: max over processors (paper Tables 3-6 convention).
+  perf::Profile breakdown;
+};
+
+/// Simulated parallel solve following the static schedule on `machine`.
+/// assign_processors() must have been run with the machine's processor
+/// count.  The machine is reset first.
+SimSolveResult solve_hierarchical_sim(Hierarchy& hierarchy,
+                                      const linalg::Vector& initial_x,
+                                      const HierSolveOptions& options,
+                                      simarch::SimMachine& machine);
+
+/// Real-thread parallel solve following the static schedule on `pool`.
+/// assign_processors() must have been run with pool.size() processors.
+HierSolveResult solve_hierarchical_threaded(Hierarchy& hierarchy,
+                                            const linalg::Vector& initial_x,
+                                            const HierSolveOptions& options,
+                                            par::ThreadPool& pool);
+
+}  // namespace phmse::core

@@ -1,0 +1,269 @@
+#include "core/hierarchy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace phmse::core {
+namespace {
+
+std::unique_ptr<HierNode> make_node(std::string name, Index begin,
+                                    Index end) {
+  auto node = std::make_unique<HierNode>();
+  node->name = std::move(name);
+  node->atom_begin = begin;
+  node->atom_end = end;
+  return node;
+}
+
+// Base node of Fig. 2: a base splits into backbone and sidechain leaves.
+std::unique_ptr<HierNode> make_base_node(const mol::BaseGroup& base,
+                                         const std::string& name) {
+  auto node = make_node(name, base.begin(), base.end());
+  node->children.push_back(make_node(name + "/backbone", base.backbone_begin,
+                                     base.backbone_end));
+  node->children.push_back(make_node(name + "/sidechain",
+                                     base.sidechain_begin,
+                                     base.sidechain_end));
+  return node;
+}
+
+// Recursive bisection of a base-pair range into sub-helices (Fig. 2).
+std::unique_ptr<HierNode> make_helix_node(const mol::HelixModel& model,
+                                          Index pair_begin, Index pair_end,
+                                          const std::string& name) {
+  const auto& pairs = model.pairs;
+  const Index atom_begin =
+      pairs[static_cast<std::size_t>(pair_begin)].begin();
+  const Index atom_end = pairs[static_cast<std::size_t>(pair_end - 1)].end();
+
+  if (pair_end - pair_begin == 1) {
+    // A base pair: two bases.
+    const mol::BasePair& bp = pairs[static_cast<std::size_t>(pair_begin)];
+    auto node = make_node(name, atom_begin, atom_end);
+    node->children.push_back(
+        make_base_node(bp.strand1, name + "/base1"));
+    node->children.push_back(
+        make_base_node(bp.strand2, name + "/base2"));
+    return node;
+  }
+
+  const Index mid = pair_begin + (pair_end - pair_begin) / 2;
+  auto node = make_node(name, atom_begin, atom_end);
+  node->children.push_back(
+      make_helix_node(model, pair_begin, mid, name + "/L"));
+  node->children.push_back(make_helix_node(model, mid, pair_end, name + "/R"));
+  return node;
+}
+
+void validate_node(const HierNode& node) {
+  PHMSE_CHECK(node.atom_begin <= node.atom_end,
+              "hierarchy node has an inverted atom range");
+  if (node.is_leaf()) return;
+  Index cursor = node.atom_begin;
+  for (const auto& child : node.children) {
+    PHMSE_CHECK(child->atom_begin == cursor,
+                "hierarchy children must tile the parent range in order");
+    cursor = child->atom_end;
+    validate_node(*child);
+  }
+  PHMSE_CHECK(cursor == node.atom_end,
+              "hierarchy children must cover the whole parent range");
+}
+
+void describe_node(const HierNode& node, int indent, bool show_constraints,
+                   std::ostringstream& os) {
+  os << std::string(static_cast<std::size_t>(indent) * 2, ' ') << node.name
+     << " [" << node.atom_begin << "," << node.atom_end << ") atoms="
+     << node.num_atoms();
+  if (show_constraints) os << " constraints=" << node.constraints.size();
+  os << '\n';
+  for (const auto& child : node.children) {
+    describe_node(*child, indent + 1, show_constraints, os);
+  }
+}
+
+}  // namespace
+
+Hierarchy::Hierarchy(std::unique_ptr<HierNode> root)
+    : root_(std::move(root)) {
+  PHMSE_CHECK(root_ != nullptr, "hierarchy needs a root");
+}
+
+Index Hierarchy::num_nodes() const {
+  Index n = 0;
+  for_each_post_order([&](const HierNode&) { ++n; });
+  return n;
+}
+
+Index Hierarchy::num_leaves() const {
+  Index n = 0;
+  for_each_post_order([&](const HierNode& node) {
+    if (node.is_leaf()) ++n;
+  });
+  return n;
+}
+
+Index Hierarchy::depth() const {
+  struct Walker {
+    static Index depth_of(const HierNode& node) {
+      Index d = 0;
+      for (const auto& child : node.children) {
+        d = std::max(d, depth_of(*child));
+      }
+      return d + 1;
+    }
+  };
+  return Walker::depth_of(*root_);
+}
+
+Index Hierarchy::total_constraints() const {
+  Index n = 0;
+  for_each_post_order(
+      [&](const HierNode& node) { n += node.constraints.size(); });
+  return n;
+}
+
+void Hierarchy::validate() const { validate_node(*root_); }
+
+std::string Hierarchy::describe(bool show_constraints) const {
+  std::ostringstream os;
+  describe_node(*root_, 0, show_constraints, os);
+  return os.str();
+}
+
+Hierarchy build_helix_hierarchy(const mol::HelixModel& model) {
+  PHMSE_CHECK(model.num_pairs() >= 1, "helix model is empty");
+  return Hierarchy(make_helix_node(model, 0, model.num_pairs(), "helix"));
+}
+
+Hierarchy build_ribo_hierarchy(const mol::Ribo30sModel& model) {
+  auto root = make_node("ribo30S", 0, model.num_atoms());
+  for (int d = 0; d < model.num_domains; ++d) {
+    const auto [seg_lo, seg_hi] = model.domain_segments(d);
+    if (seg_lo == seg_hi) continue;
+    const Index atom_lo =
+        model.segments[static_cast<std::size_t>(seg_lo)].begin;
+    const Index atom_hi =
+        model.segments[static_cast<std::size_t>(seg_hi - 1)].end;
+    auto domain =
+        make_node("domain" + std::to_string(d), atom_lo, atom_hi);
+    for (Index s = seg_lo; s < seg_hi; ++s) {
+      const mol::Segment& seg = model.segments[static_cast<std::size_t>(s)];
+      const char* kind = seg.kind == mol::Segment::Kind::kHelix   ? "helix"
+                         : seg.kind == mol::Segment::Kind::kCoil ? "coil"
+                                                                 : "protein";
+      domain->children.push_back(
+          make_node(std::string(kind) + std::to_string(s), seg.begin,
+                    seg.end));
+    }
+    root->children.push_back(std::move(domain));
+  }
+  Hierarchy h(std::move(root));
+  h.validate();
+  return h;
+}
+
+Hierarchy build_flat_hierarchy(Index num_atoms) {
+  return Hierarchy(make_node("flat", 0, num_atoms));
+}
+
+namespace {
+
+std::unique_ptr<HierNode> bisect(Index begin, Index end, Index max_leaf,
+                                 const std::string& name) {
+  auto node = make_node(name, begin, end);
+  if (end - begin > max_leaf) {
+    const Index mid = begin + (end - begin) / 2;
+    node->children.push_back(bisect(begin, mid, max_leaf, name + "/L"));
+    node->children.push_back(bisect(mid, end, max_leaf, name + "/R"));
+  }
+  return node;
+}
+
+}  // namespace
+
+Hierarchy build_bisection_hierarchy(Index num_atoms, Index max_leaf_atoms) {
+  PHMSE_CHECK(num_atoms >= 1, "need at least one atom");
+  PHMSE_CHECK(max_leaf_atoms >= 1, "leaf size must be >= 1");
+  return Hierarchy(bisect(0, num_atoms, max_leaf_atoms, "auto"));
+}
+
+Hierarchy build_bottom_up_hierarchy(
+    const std::vector<std::pair<Index, Index>>& leaf_ranges,
+    const cons::ConstraintSet& constraints) {
+  PHMSE_CHECK(!leaf_ranges.empty(), "need at least one leaf");
+
+  // Current forest roots, in atom order.
+  std::vector<std::unique_ptr<HierNode>> roots;
+  Index cursor = leaf_ranges.front().first;
+  for (std::size_t i = 0; i < leaf_ranges.size(); ++i) {
+    PHMSE_CHECK(leaf_ranges[i].first == cursor,
+                "leaf ranges must be contiguous and ordered");
+    cursor = leaf_ranges[i].second;
+    roots.push_back(make_node("leaf" + std::to_string(i),
+                              leaf_ranges[i].first, leaf_ranges[i].second));
+  }
+
+  // Precompute constraint spans.
+  std::vector<std::pair<Index, Index>> spans;
+  spans.reserve(static_cast<std::size_t>(constraints.size()));
+  for (const auto& c : constraints.all()) {
+    Index lo = c.atoms[0];
+    Index hi = lo;
+    for (Index k = 0; k < cons::arity(c.kind); ++k) {
+      lo = std::min(lo, c.atoms[static_cast<std::size_t>(k)]);
+      hi = std::max(hi, c.atoms[static_cast<std::size_t>(k)]);
+    }
+    spans.emplace_back(lo, hi);
+  }
+
+  // Constraints "captured" by merging adjacent roots [i], [i+1]: spans that
+  // cross the boundary between them but stay inside the union.  Greedily
+  // merging the pair that captures the most constraints pushes as many
+  // constraints as possible toward the bottom of the tree.
+  auto capture_count = [&](const HierNode& a, const HierNode& b) {
+    Index count = 0;
+    for (const auto& [lo, hi] : spans) {
+      if (lo >= a.atom_begin && lo < a.atom_end && hi >= b.atom_begin &&
+          hi < b.atom_end) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  int merge_id = 0;
+  while (roots.size() > 1) {
+    // Primary objective: capture the most constraints.  Tie-break on the
+    // smallest merged node (Huffman-style), which keeps the tree balanced —
+    // a caterpillar tree would re-assemble near-full-size covariances at
+    // every level and forfeit the hierarchical win.
+    std::size_t best = 0;
+    Index best_count = -1;
+    Index best_size = std::numeric_limits<Index>::max();
+    for (std::size_t i = 0; i + 1 < roots.size(); ++i) {
+      const Index c = capture_count(*roots[i], *roots[i + 1]);
+      const Index size = roots[i + 1]->atom_end - roots[i]->atom_begin;
+      if (c > best_count || (c == best_count && size < best_size)) {
+        best_count = c;
+        best_size = size;
+        best = i;
+      }
+    }
+    auto merged = make_node("merge" + std::to_string(merge_id++),
+                            roots[best]->atom_begin,
+                            roots[best + 1]->atom_end);
+    merged->children.push_back(std::move(roots[best]));
+    merged->children.push_back(std::move(roots[best + 1]));
+    roots[best] = std::move(merged);
+    roots.erase(roots.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  }
+
+  Hierarchy h(std::move(roots.front()));
+  h.validate();
+  return h;
+}
+
+}  // namespace phmse::core

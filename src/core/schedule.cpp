@@ -1,0 +1,122 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace phmse::core {
+namespace {
+
+void assign_node(HierNode& node, int first, int count);
+
+// Recursive bipartition of `kids` (sorted by increasing subtree work) and
+// the processor range [first, first+count): paper Section 4.3, steps 4-5.
+void partition(std::vector<HierNode*>& kids, std::size_t lo, std::size_t hi,
+               int first, int count) {
+  const std::size_t n = hi - lo;
+  if (n == 0) return;
+  if (n == 1) {
+    assign_node(*kids[lo], first, count);
+    return;
+  }
+  if (count == 1) {
+    // Out of processors: the remaining subtrees share this one and run
+    // sequentially.
+    for (std::size_t i = lo; i < hi; ++i) assign_node(*kids[i], first, 1);
+    return;
+  }
+
+  double total = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) total += kids[i]->subtree_work;
+
+  // Try every processor bipartition p | count-p; for each, find the child
+  // partition point whose work ratio matches it best; keep the overall best.
+  double best_score = std::numeric_limits<double>::infinity();
+  int best_p = 1;
+  std::size_t best_k = lo + 1;
+  for (int p = 1; p < count; ++p) {
+    const double target = total * static_cast<double>(p) / count;
+    double acc = 0.0;
+    for (std::size_t k = lo + 1; k < hi; ++k) {
+      acc += kids[k - 1]->subtree_work;
+      const double score =
+          std::abs(acc - target) +
+          // tie-break toward balanced processor counts
+          1e-12 * std::abs(p - count / 2.0);
+      if (score < best_score) {
+        best_score = score;
+        best_p = p;
+        best_k = k;
+      }
+    }
+  }
+
+  partition(kids, lo, best_k, first, best_p);
+  partition(kids, best_k, hi, first + best_p, count - best_p);
+}
+
+void assign_node(HierNode& node, int first, int count) {
+  node.proc_first = first;
+  node.proc_count = count;
+  if (node.is_leaf()) return;
+
+  std::vector<HierNode*> kids;
+  kids.reserve(node.children.size());
+  for (auto& child : node.children) kids.push_back(child.get());
+  std::sort(kids.begin(), kids.end(), [](const HierNode* a, const HierNode* b) {
+    return a->subtree_work < b->subtree_work;
+  });
+  partition(kids, 0, kids.size(), first, count);
+}
+
+void validate_node(const HierNode& node) {
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const HierNode& a = *node.children[i];
+    PHMSE_CHECK(a.proc_first >= node.proc_first &&
+                    a.proc_first + a.proc_count <=
+                        node.proc_first + node.proc_count,
+                "child processor range escapes its parent's");
+    for (std::size_t j = i + 1; j < node.children.size(); ++j) {
+      const HierNode& b = *node.children[j];
+      const bool disjoint = a.proc_first + a.proc_count <= b.proc_first ||
+                            b.proc_first + b.proc_count <= a.proc_first;
+      const bool shared_single = a.proc_first == b.proc_first &&
+                                 a.proc_count == 1 && b.proc_count == 1;
+      PHMSE_CHECK(disjoint || shared_single,
+                  "sibling processor ranges overlap");
+    }
+    validate_node(a);
+  }
+}
+
+void describe_node(const HierNode& node, int indent, std::ostringstream& os) {
+  os << std::string(static_cast<std::size_t>(indent) * 2, ' ') << node.name
+     << " procs=[" << node.proc_first << ","
+     << node.proc_first + node.proc_count << ") work=" << node.subtree_work
+     << '\n';
+  for (const auto& child : node.children) {
+    describe_node(*child, indent + 1, os);
+  }
+}
+
+}  // namespace
+
+void assign_processors(Hierarchy& hierarchy, int processors) {
+  PHMSE_CHECK(processors >= 1, "need at least one processor");
+  assign_node(hierarchy.root(), 0, processors);
+}
+
+void validate_schedule(const Hierarchy& hierarchy) {
+  validate_node(hierarchy.root());
+}
+
+std::string describe_schedule(const Hierarchy& hierarchy) {
+  std::ostringstream os;
+  describe_node(hierarchy.root(), 0, os);
+  return os.str();
+}
+
+}  // namespace phmse::core

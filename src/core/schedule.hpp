@@ -1,0 +1,30 @@
+// Static processor assignment (paper Section 4.3).
+//
+// Given per-subtree work estimates, processors are distributed over the
+// hierarchy: the root gets all P processors; at every node the child
+// subtrees (ordered by increasing work) and the node's processors are
+// recursively bipartitioned, choosing at each step the processor split and
+// child partition point whose work ratio matches best.  Every node ends up
+// with a contiguous processor range [proc_first, proc_first + proc_count),
+// with children's ranges partitioning the parent's (or sharing a single
+// processor when P is exhausted).
+#pragma once
+
+#include "core/hierarchy.hpp"
+
+namespace phmse::core {
+
+/// Assigns processors 0..processors-1 over the hierarchy.  estimate_work()
+/// must have been called first (zero estimates degrade to even splits).
+void assign_processors(Hierarchy& hierarchy, int processors);
+
+/// Validation: every node's processor range lies inside its parent's, and
+/// the ranges of children that got disjoint groups do not overlap unless
+/// they share a single processor.  Throws phmse::Error on violation.
+void validate_schedule(const Hierarchy& hierarchy);
+
+/// Human-readable schedule dump for debugging and the bench `--show-tree`
+/// flags.
+std::string describe_schedule(const Hierarchy& hierarchy);
+
+}  // namespace phmse::core

@@ -1,0 +1,53 @@
+#include "core/study.hpp"
+
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace phmse::core {
+
+SpeedupStudy run_speedup_study(const ProblemFactory& factory,
+                               const linalg::Vector& initial,
+                               const HierSolveOptions& options,
+                               const simarch::MachineConfig& machine,
+                               const std::vector<int>& counts) {
+  PHMSE_CHECK(!counts.empty(), "study needs at least one processor count");
+  SpeedupStudy study;
+  study.machine = machine.name;
+  double t_first = 0.0;
+  for (int procs : counts) {
+    if (procs < 1 || procs > machine.processors) continue;
+    Hierarchy h = factory(procs);
+    simarch::SimMachine sim(machine);
+    const SimSolveResult res =
+        solve_hierarchical_sim(h, initial, options, sim);
+    StudyRow row;
+    row.processors = procs;
+    row.time = res.vtime;
+    if (study.rows.empty()) t_first = res.vtime;
+    row.speedup = t_first > 0.0 ? t_first / res.vtime : 1.0;
+    row.breakdown = res.breakdown;
+    study.rows.push_back(std::move(row));
+  }
+  PHMSE_CHECK(!study.rows.empty(),
+              "no processor count fits the machine configuration");
+  return study;
+}
+
+std::string format_speedup_table(const SpeedupStudy& study) {
+  using perf::Category;
+  Table t({"NP", "time", "spdup", "d-s", "chol", "sys", "m-m", "m-v",
+           "vec"});
+  for (const StudyRow& row : study.rows) {
+    t.add_row({std::to_string(row.processors), format_fixed(row.time, 2),
+               format_fixed(row.speedup, 2),
+               format_fixed(row.breakdown.time(Category::kDenseSparse), 2),
+               format_fixed(row.breakdown.time(Category::kCholesky), 2),
+               format_fixed(row.breakdown.time(Category::kSystemSolve), 2),
+               format_fixed(row.breakdown.time(Category::kMatMat), 2),
+               format_fixed(row.breakdown.time(Category::kMatVec), 2),
+               format_fixed(row.breakdown.time(Category::kVector), 2)});
+  }
+  return t.str();
+}
+
+}  // namespace phmse::core

@@ -1,0 +1,55 @@
+// Parallel speedup studies as a library facility.
+//
+// The paper's evaluation protocol — run one full constraint cycle at each
+// processor count, report work time, speedup, and the per-category time
+// distribution (Tables 3-6) — packaged so benches, tests and downstream
+// users replay it on any problem and machine configuration.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/hier_solver.hpp"
+
+namespace phmse::core {
+
+/// One row of a speedup table.
+struct StudyRow {
+  int processors = 1;
+  double time = 0.0;      // simulated work time, seconds
+  double speedup = 1.0;   // vs the 1-processor row (or the smallest run)
+  perf::Profile breakdown;
+};
+
+/// A completed study.
+struct SpeedupStudy {
+  std::string machine;
+  std::vector<StudyRow> rows;
+
+  /// Parallel efficiency of row i: speedup / processors.
+  double efficiency(std::size_t i) const {
+    return rows[i].speedup / rows[i].processors;
+  }
+};
+
+/// Builds a fresh scheduled hierarchy for the given processor count.  The
+/// callback owns problem construction so every run starts from identical
+/// state (the solver mutates nothing outside the hierarchy it is given).
+using ProblemFactory = std::function<Hierarchy(int processors)>;
+
+/// Runs `options.max_cycles` cycles at every processor count in `counts`
+/// (entries exceeding the machine size are skipped) and collects the
+/// paper-style rows.  Numerics are identical across rows (the schedule
+/// changes placement, not arithmetic), so only timing differs.
+SpeedupStudy run_speedup_study(const ProblemFactory& factory,
+                               const linalg::Vector& initial,
+                               const HierSolveOptions& options,
+                               const simarch::MachineConfig& machine,
+                               const std::vector<int>& counts);
+
+/// Renders the study in the layout of the paper's Tables 3-6
+/// (NP / time / spdup / d-s / chol / sys / m-m / m-v / vec).
+std::string format_speedup_table(const SpeedupStudy& study);
+
+}  // namespace phmse::core

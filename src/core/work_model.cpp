@@ -1,0 +1,128 @@
+#include "core/work_model.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "support/check.hpp"
+
+namespace phmse::core {
+namespace {
+
+constexpr int kFeatures = 5;  // n^2, n*m, n, m, 1
+
+std::array<double, kFeatures> features(double n, double m) {
+  return {n * n, n * m, n, m, 1.0};
+}
+
+// A node's internal update is a sequence of flat problems; besides the
+// per-constraint cost, assembling the block-diagonal state from the
+// children touches dim^2 covariance entries.  Expressed in units of the
+// model's quadratic term so the estimate stays scale-free.
+constexpr double kAssemblyEquivalentConstraints = 3.0;
+
+}  // namespace
+
+WorkModel fit_work_model(const std::vector<WorkSample>& samples) {
+  PHMSE_CHECK(!samples.empty(), "work-model fit needs samples");
+
+  std::array<bool, kFeatures> active;
+  active.fill(true);
+
+  std::array<double, kFeatures> coeff{};
+  for (int round = 0; round < kFeatures; ++round) {
+    // Indices of active features.
+    std::vector<int> idx;
+    for (int k = 0; k < kFeatures; ++k) {
+      if (active[static_cast<std::size_t>(k)]) idx.push_back(k);
+    }
+    PHMSE_CHECK(!idx.empty(), "work-model fit degenerated to zero");
+    const Index p = static_cast<Index>(idx.size());
+
+    // Normal equations X^T X beta = X^T y with a tiny ridge for stability.
+    linalg::Matrix xtx(p, p);
+    linalg::Matrix xty(p, 1);
+    for (const WorkSample& s : samples) {
+      const auto f = features(s.n, s.m);
+      for (Index a = 0; a < p; ++a) {
+        const double fa = f[static_cast<std::size_t>(idx[static_cast<std::size_t>(a)])];
+        xty(a, 0) += fa * s.seconds_per_constraint;
+        for (Index b = 0; b < p; ++b) {
+          xtx(a, b) +=
+              fa * f[static_cast<std::size_t>(idx[static_cast<std::size_t>(b)])];
+        }
+      }
+    }
+    for (Index a = 0; a < p; ++a) xtx(a, a) *= 1.0 + 1e-12;
+
+    const linalg::Matrix beta = linalg::spd_solve(xtx, xty);
+
+    // Clamp: drop the most negative coefficient and refit.
+    int worst = -1;
+    double worst_val = 0.0;
+    coeff.fill(0.0);
+    for (Index a = 0; a < p; ++a) {
+      const double v = beta(a, 0);
+      coeff[static_cast<std::size_t>(idx[static_cast<std::size_t>(a)])] = v;
+      if (v < worst_val) {
+        worst_val = v;
+        worst = idx[static_cast<std::size_t>(a)];
+      }
+    }
+    if (worst < 0) break;  // all non-negative: done
+    active[static_cast<std::size_t>(worst)] = false;
+    coeff[static_cast<std::size_t>(worst)] = 0.0;
+  }
+
+  WorkModel model;
+  model.a_n2 = coeff[0];
+  model.a_nm = coeff[1];
+  model.a_n = coeff[2];
+  model.a_m = coeff[3];
+  model.a_1 = coeff[4];
+  PHMSE_CHECK(model.a_n2 > 0.0 || model.a_n > 0.0 || model.a_1 > 0.0,
+              "work-model fit produced a non-growth model");
+  return model;
+}
+
+Index optimal_batch_size(const WorkModel& model, double n, Index max_batch) {
+  PHMSE_CHECK(max_batch >= 1, "batch bound must be >= 1");
+  // The fitted polynomial is linear in m, so on its own it is minimized at
+  // m = 1; the small-m penalty the paper measures (cache-hostile vector
+  // operations, per-batch overhead) lives outside the regression range.
+  // Model it as the amortized per-batch fixed cost a_1 * (1 + n0/m): each
+  // batch pays roughly one constant term per matrix pass.
+  Index best = 1;
+  double best_t = std::numeric_limits<double>::infinity();
+  for (Index m = 1; m <= max_batch; m *= 2) {
+    const double md = static_cast<double>(m);
+    const double t = model.per_constraint(n, md) +
+                     (model.a_1 + model.a_n * n) * 16.0 / md;
+    if (t < best_t) {
+      best_t = t;
+      best = m;
+    }
+  }
+  return best;
+}
+
+void estimate_work(Hierarchy& hierarchy, const WorkModel& model,
+                   Index batch_size) {
+  PHMSE_CHECK(batch_size >= 1, "batch size must be >= 1");
+  hierarchy.for_each_post_order([&](HierNode& node) {
+    const double n = static_cast<double>(node.dim());
+    const double constraints = static_cast<double>(node.constraints.size());
+    const double m =
+        std::min(static_cast<double>(batch_size), std::max(1.0, constraints));
+    node.own_work = constraints * model.per_constraint(n, m);
+    if (!node.is_leaf()) {
+      node.own_work += kAssemblyEquivalentConstraints * model.a_n2 * n * n;
+    }
+    node.subtree_work = node.own_work;
+    for (const auto& child : node.children) {
+      node.subtree_work += child->subtree_work;
+    }
+  });
+}
+
+}  // namespace phmse::core

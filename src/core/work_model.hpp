@@ -1,0 +1,68 @@
+// Work estimation (paper Section 4.3, Equation 1).
+//
+// The processor-assignment heuristic needs the expected execution time of
+// an "equivalent scalar constraint" as a function of node size n (state
+// dimension) and constraint batch dimension m.  The paper fits a
+// constrained least-squares polynomial to measured per-constraint times
+// (their Table 2), imposing:
+//   1. a positive leading coefficient (the model must be a growth
+//      function), and
+//   2. non-negative coefficient sum and constant term (no negative
+//      predicted times near the origin).
+// We satisfy both with a non-negative least-squares (NNLS) fit over the
+// basis {n^2, n*m, n, m, 1}: every coefficient is constrained >= 0, which
+// implies the paper's two checks, and the active-set iteration drops basis
+// terms whose unconstrained weight would be negative.
+#pragma once
+
+#include <vector>
+
+#include "core/hierarchy.hpp"
+#include "support/types.hpp"
+
+namespace phmse::core {
+
+/// t(n, m) = a_n2 * n^2 + a_nm * n * m + a_n * n + a_m * m + a_1 —
+/// estimated seconds per scalar constraint for a node of state dimension n
+/// processing batches of dimension m.
+struct WorkModel {
+  double a_n2 = 1.0e-9;
+  double a_nm = 0.0;
+  double a_n = 1.0e-7;
+  double a_m = 0.0;
+  double a_1 = 1.0e-6;
+
+  double per_constraint(double n, double m) const {
+    return a_n2 * n * n + a_nm * n * m + a_n * n + a_m * m + a_1;
+  }
+};
+
+/// One measured sample: a node of state dimension n processed batches of
+/// dimension m at `seconds_per_constraint` per scalar constraint.
+struct WorkSample {
+  double n = 0.0;
+  double m = 0.0;
+  double seconds_per_constraint = 0.0;
+};
+
+/// Fits the constrained (non-negative) least-squares model; requires at
+/// least one sample and throws phmse::Error if the fit degenerates to an
+/// all-zero model.  Samples with very small batch dimension should be
+/// excluded by the caller, as the paper does, because the m -> 0 cache
+/// behaviour is not polynomial.
+WorkModel fit_work_model(const std::vector<WorkSample>& samples);
+
+/// Fills own_work / subtree_work on every node: own work is the node's
+/// scalar constraint count times per_constraint(dim, batch) plus a state
+/// assembly term proportional to dim^2; subtree work accumulates upward.
+void estimate_work(Hierarchy& hierarchy, const WorkModel& model,
+                   Index batch_size);
+
+/// The batch dimension in [1, max_batch] minimizing the fitted
+/// per-constraint time for nodes of state dimension n.  The paper reads
+/// its optimum (16 on its machines) off the Table-2 measurements; this is
+/// the model-driven equivalent.  Candidates are powers of two.
+Index optimal_batch_size(const WorkModel& model, double n,
+                         Index max_batch = 512);
+
+}  // namespace phmse::core

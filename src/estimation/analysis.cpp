@@ -1,0 +1,186 @@
+#include "estimation/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace phmse::est {
+namespace {
+
+using Mat3 = std::array<std::array<double, 3>, 3>;
+
+mol::Vec3 col(const Mat3& m, int j) {
+  return {m[0][static_cast<std::size_t>(j)],
+          m[1][static_cast<std::size_t>(j)],
+          m[2][static_cast<std::size_t>(j)]};
+}
+
+// One Jacobi rotation sweep pass for a symmetric 3x3; robust and exact
+// enough at this size (a handful of sweeps reaches machine precision).
+void jacobi_3x3(Mat3 a, std::array<double, 3>& values, Mat3& vectors) {
+  // vectors starts as identity.
+  vectors = {{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}};
+  for (int sweep = 0; sweep < 32; ++sweep) {
+    // Largest off-diagonal element.
+    double off = 0.0;
+    int p = 0;
+    int q = 1;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        const double v = std::abs(a[static_cast<std::size_t>(i)]
+                                    [static_cast<std::size_t>(j)]);
+        if (v > off) {
+          off = v;
+          p = i;
+          q = j;
+        }
+      }
+    }
+    if (off < 1e-15) break;
+
+    const double app = a[static_cast<std::size_t>(p)][static_cast<std::size_t>(p)];
+    const double aqq = a[static_cast<std::size_t>(q)][static_cast<std::size_t>(q)];
+    const double apq = a[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)];
+    const double theta = 0.5 * std::atan2(2.0 * apq, aqq - app);
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+
+    for (int k = 0; k < 3; ++k) {
+      const double akp = a[static_cast<std::size_t>(k)][static_cast<std::size_t>(p)];
+      const double akq = a[static_cast<std::size_t>(k)][static_cast<std::size_t>(q)];
+      a[static_cast<std::size_t>(k)][static_cast<std::size_t>(p)] = c * akp - s * akq;
+      a[static_cast<std::size_t>(k)][static_cast<std::size_t>(q)] = s * akp + c * akq;
+    }
+    for (int k = 0; k < 3; ++k) {
+      const double apk = a[static_cast<std::size_t>(p)][static_cast<std::size_t>(k)];
+      const double aqk = a[static_cast<std::size_t>(q)][static_cast<std::size_t>(k)];
+      a[static_cast<std::size_t>(p)][static_cast<std::size_t>(k)] = c * apk - s * aqk;
+      a[static_cast<std::size_t>(q)][static_cast<std::size_t>(k)] = s * apk + c * aqk;
+    }
+    for (int k = 0; k < 3; ++k) {
+      const double vkp = vectors[static_cast<std::size_t>(k)][static_cast<std::size_t>(p)];
+      const double vkq = vectors[static_cast<std::size_t>(k)][static_cast<std::size_t>(q)];
+      vectors[static_cast<std::size_t>(k)][static_cast<std::size_t>(p)] = c * vkp - s * vkq;
+      vectors[static_cast<std::size_t>(k)][static_cast<std::size_t>(q)] = s * vkp + c * vkq;
+    }
+  }
+  values = {a[0][0], a[1][1], a[2][2]};
+}
+
+}  // namespace
+
+void eigen_symmetric_3x3(const Mat3& m, std::array<double, 3>& values,
+                         std::array<mol::Vec3, 3>& vectors) {
+  Mat3 basis;
+  jacobi_3x3(m, values, basis);
+
+  // Sort descending by eigenvalue.
+  std::array<int, 3> order{0, 1, 2};
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return values[static_cast<std::size_t>(a)] >
+           values[static_cast<std::size_t>(b)];
+  });
+  const std::array<double, 3> v = values;
+  for (int i = 0; i < 3; ++i) {
+    values[static_cast<std::size_t>(i)] =
+        v[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+    vectors[static_cast<std::size_t>(i)] =
+        col(basis, order[static_cast<std::size_t>(i)]);
+  }
+}
+
+Mat3 marginal_covariance(const NodeState& state, Index atom) {
+  PHMSE_CHECK(atom >= state.atom_begin && atom < state.atom_end,
+              "atom outside the state");
+  const Index base = state.coord_index(atom, 0);
+  Mat3 m;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          state.c(base + i, base + j);
+    }
+  }
+  return m;
+}
+
+AtomUncertainty atom_uncertainty(const NodeState& state, Index atom) {
+  AtomUncertainty out;
+  out.atom = atom;
+  eigen_symmetric_3x3(marginal_covariance(state, atom), out.eigenvalues,
+                      out.axes);
+  return out;
+}
+
+std::vector<AtomUncertainty> all_atom_uncertainties(const NodeState& state) {
+  std::vector<AtomUncertainty> out;
+  out.reserve(static_cast<std::size_t>(state.num_atoms()));
+  for (Index a = state.atom_begin; a < state.atom_end; ++a) {
+    out.push_back(atom_uncertainty(state, a));
+  }
+  return out;
+}
+
+double coordinate_correlation(const NodeState& state, Index atom_a,
+                              int axis_a, Index atom_b, int axis_b) {
+  const Index ia = state.coord_index(atom_a, axis_a);
+  const Index ib = state.coord_index(atom_b, axis_b);
+  const double va = state.c(ia, ia);
+  const double vb = state.c(ib, ib);
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return state.c(ia, ib) / std::sqrt(va * vb);
+}
+
+namespace {
+
+std::vector<AtomUncertainty> ranked(const NodeState& state, Index count,
+                                    bool worst) {
+  std::vector<AtomUncertainty> all = all_atom_uncertainties(state);
+  std::sort(all.begin(), all.end(),
+            [worst](const AtomUncertainty& a, const AtomUncertainty& b) {
+              return worst ? a.rms() > b.rms() : a.rms() < b.rms();
+            });
+  if (static_cast<Index>(all.size()) > count) {
+    all.resize(static_cast<std::size_t>(count));
+  }
+  return all;
+}
+
+}  // namespace
+
+std::vector<AtomUncertainty> worst_determined(const NodeState& state,
+                                              Index count) {
+  return ranked(state, count, /*worst=*/true);
+}
+
+std::vector<AtomUncertainty> best_determined(const NodeState& state,
+                                             Index count) {
+  return ranked(state, count, /*worst=*/false);
+}
+
+std::string uncertainty_report(const NodeState& state,
+                               const mol::Topology& topology,
+                               Index highlight_count) {
+  std::ostringstream os;
+  const auto all = all_atom_uncertainties(state);
+  double mean = 0.0;
+  for (const auto& u : all) mean += u.rms();
+  mean /= static_cast<double>(all.size());
+  os << "positional uncertainty: mean RMS " << mean << " A over "
+     << all.size() << " atoms\n";
+
+  os << "worst determined:\n";
+  for (const auto& u : worst_determined(state, highlight_count)) {
+    os << "  " << topology.atom(u.atom).label << "  rms=" << u.rms()
+       << " A  anisotropy=" << u.anisotropy() << "\n";
+  }
+  os << "best determined:\n";
+  for (const auto& u : best_determined(state, highlight_count)) {
+    os << "  " << topology.atom(u.atom).label << "  rms=" << u.rms()
+       << " A\n";
+  }
+  return os.str();
+}
+
+}  // namespace phmse::est

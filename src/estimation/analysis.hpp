@@ -1,0 +1,77 @@
+// Uncertainty analysis of a structure estimate.
+//
+// The covariance matrix is half of the method's output: "the information
+// contained in the covariance matrix is useful in assessing, for example,
+// which parts of the molecule are better defined by the data" (paper
+// Section 2).  This module turns (x, C) into exactly those assessments:
+// per-atom positional uncertainty (3x3 marginal covariances and their
+// principal axes), inter-atom correlation queries, and a ranking of the
+// best/worst determined regions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "estimation/state.hpp"
+
+namespace phmse::est {
+
+/// Per-atom positional uncertainty derived from the 3x3 marginal
+/// covariance block of one atom.
+struct AtomUncertainty {
+  Index atom = 0;
+  /// Eigenvalues of the 3x3 marginal covariance, descending (variances
+  /// along the principal axes, in A^2).
+  std::array<double, 3> eigenvalues{};
+  /// Unit principal axes, matching `eigenvalues`.
+  std::array<mol::Vec3, 3> axes{};
+  /// RMS positional uncertainty: sqrt(trace / 3).
+  double rms() const {
+    return std::sqrt((eigenvalues[0] + eigenvalues[1] + eigenvalues[2]) /
+                     3.0);
+  }
+  /// Anisotropy: largest / smallest axis variance (1 = spherical).
+  double anisotropy() const {
+    return eigenvalues[2] > 0.0 ? eigenvalues[0] / eigenvalues[2]
+                                : std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Eigen-decomposition of a symmetric 3x3 matrix (values descending).
+/// Exposed for tests; uses the analytic characteristic-polynomial method
+/// with an orthonormalized eigenbasis.
+void eigen_symmetric_3x3(const std::array<std::array<double, 3>, 3>& m,
+                         std::array<double, 3>& values,
+                         std::array<mol::Vec3, 3>& vectors);
+
+/// The 3x3 marginal covariance block of `atom`.
+std::array<std::array<double, 3>, 3> marginal_covariance(
+    const NodeState& state, Index atom);
+
+/// Uncertainty summary of one atom.
+AtomUncertainty atom_uncertainty(const NodeState& state, Index atom);
+
+/// Uncertainty summaries for every atom in the state.
+std::vector<AtomUncertainty> all_atom_uncertainties(const NodeState& state);
+
+/// Pearson correlation between coordinate `axis_a` of `atom_a` and
+/// coordinate `axis_b` of `atom_b` (zero if either variance vanishes).
+double coordinate_correlation(const NodeState& state, Index atom_a,
+                              int axis_a, Index atom_b, int axis_b);
+
+/// The `count` atoms with the largest RMS positional uncertainty,
+/// descending — "which parts of the molecule are worst defined".
+std::vector<AtomUncertainty> worst_determined(const NodeState& state,
+                                              Index count);
+
+/// The `count` atoms with the smallest RMS positional uncertainty,
+/// ascending — the best defined parts.
+std::vector<AtomUncertainty> best_determined(const NodeState& state,
+                                             Index count);
+
+/// A short human-readable report (used by the examples).
+std::string uncertainty_report(const NodeState& state,
+                               const mol::Topology& topology,
+                               Index highlight_count = 5);
+
+}  // namespace phmse::est

@@ -1,0 +1,42 @@
+// Combination of independent updates (paper Figure 3).
+//
+// The coarse-grained intra-node parallelization the paper considers (and
+// rejects, Section 4.1): split a node's constraints into disjoint subsets,
+// let each produce its own posterior from the shared prior, then fuse the
+// posteriors.  For Gaussian estimates sharing the prior (x0, C0) the fused
+// information is
+//      Cf^-1      = C1^-1 + C2^-1 - C0^-1
+//      Cf^-1 * xf = C1^-1 x1 + C2^-1 x2 - C0^-1 x0
+// which is exact when the measurement functions are linear.  Fusing more
+// than two posteriors proceeds pairwise in a "tournament" (the partial
+// fusions each carry the prior exactly once, so the pairwise formula keeps
+// applying).
+//
+// The procedure costs O(n^3) — "essentially the same amount of work as
+// applying a constraint vector of the same dimension [as the state]" — and
+// duplicates the (x, C) pair per branch, which is why the paper prefers
+// parallelism inside the update procedure.  PHMSE ships it as a baseline;
+// bench/ablation_combine reproduces the comparison.
+#pragma once
+
+#include <vector>
+
+#include "estimation/state.hpp"
+#include "parallel/exec.hpp"
+
+namespace phmse::est {
+
+/// Fuses two posteriors produced independently from the shared spherical
+/// prior (prior_x, prior_sigma^2 I).  Both must cover the same atom range.
+NodeState combine_independent(par::ExecContext& ctx, const NodeState& a,
+                              const NodeState& b,
+                              const linalg::Vector& prior_x,
+                              double prior_sigma);
+
+/// Pairwise tournament fusion of any number of posteriors (size >= 1).
+NodeState combine_tournament(par::ExecContext& ctx,
+                             std::vector<NodeState> posteriors,
+                             const linalg::Vector& prior_x,
+                             double prior_sigma);
+
+}  // namespace phmse::est

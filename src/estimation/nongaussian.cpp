@@ -1,0 +1,206 @@
+#include "estimation/nongaussian.hpp"
+
+#include <cmath>
+
+#include "linalg/kernels.hpp"
+#include "support/check.hpp"
+
+namespace phmse::est {
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+double normal_pdf(double t) { return kInvSqrt2Pi * std::exp(-0.5 * t * t); }
+
+double normal_cdf(double t) { return 0.5 * std::erfc(-t / kSqrt2); }
+
+}  // namespace
+
+void truncated_normal_moments(double mu, double sigma, double a, double b,
+                              double& mean, double& var) {
+  PHMSE_CHECK(sigma > 0.0, "truncation needs a positive sigma");
+  PHMSE_CHECK(a <= b, "truncation interval is inverted");
+  const double alpha = (a - mu) / sigma;
+  const double beta = (b - mu) / sigma;
+  const double z = normal_cdf(beta) - normal_cdf(alpha);
+  if (z < 1e-12) {
+    // Essentially no prior mass inside the interval: collapse to the
+    // nearest endpoint with a small residual spread.
+    mean = mu < a ? a : b;
+    var = sigma * sigma * 1e-6;
+    return;
+  }
+  const double pa = normal_pdf(alpha);
+  const double pb = normal_pdf(beta);
+  const double d1 = (pa - pb) / z;
+  const double d2 = (alpha * pa - beta * pb) / z;
+  mean = mu + sigma * d1;
+  var = sigma * sigma * (1.0 + d2 - d1 * d1);
+  if (var < 0.0) var = 0.0;  // numerical guard near degenerate intervals
+}
+
+double NonGaussianUpdater::linearize_scalar(par::ExecContext& ctx,
+                                            const NodeState& state,
+                                            const cons::Constraint& c,
+                                            linalg::Vector& g, double& s0) {
+  const Index n = state.dim();
+  g.assign(static_cast<std::size_t>(n), 0.0);
+
+  std::array<mol::Vec3, 4> pos{};
+  const Index na = cons::arity(c.kind);
+  for (Index k = 0; k < na; ++k) {
+    pos[static_cast<std::size_t>(k)] =
+        state.position(c.atoms[static_cast<std::size_t>(k)]);
+  }
+  cons::Gradient grad;
+  const double predicted = cons::evaluate_with_gradient(c, pos, grad);
+
+  // Sparse Jacobian row as (index, value) pairs.
+  std::array<std::pair<Index, double>, 12> hrow;
+  int nnz = 0;
+  for (Index k = 0; k < na; ++k) {
+    const Index col =
+        state.coord_index(c.atoms[static_cast<std::size_t>(k)], 0);
+    const mol::Vec3& gk = grad.d[static_cast<std::size_t>(k)];
+    hrow[static_cast<std::size_t>(nnz++)] = {col + 0, gk.x};
+    hrow[static_cast<std::size_t>(nnz++)] = {col + 1, gk.y};
+    hrow[static_cast<std::size_t>(nnz++)] = {col + 2, gk.z};
+  }
+
+  // g = C H^T (one dense-sparse pass over the touched rows of C) and
+  // s0 = H C H^T.
+  double s = 0.0;
+  ctx.parallel(
+      perf::Category::kDenseSparse, n,
+      [&](Index begin, Index end) {
+        par::KernelStats st;
+        st.flops = 2.0 * static_cast<double>(nnz) *
+                   static_cast<double>(end - begin);
+        st.bytes_irregular = 8.0 * static_cast<double>(nnz) *
+                             static_cast<double>(end - begin);
+        return st;
+      },
+      [&](Index begin, Index end, int /*lane*/) {
+        for (int k = 0; k < nnz; ++k) {
+          const auto [col, value] = hrow[static_cast<std::size_t>(k)];
+          const auto row = state.c.row(col);
+          for (Index i = begin; i < end; ++i) {
+            g[static_cast<std::size_t>(i)] += value * row[i];
+          }
+        }
+      });
+  for (int k = 0; k < nnz; ++k) {
+    const auto [col, value] = hrow[static_cast<std::size_t>(k)];
+    s += value * g[static_cast<std::size_t>(col)];
+  }
+  s0 = s;
+  return predicted;
+}
+
+void NonGaussianUpdater::apply_mixture(par::ExecContext& ctx,
+                                       NodeState& state,
+                                       const MixtureConstraint& constraint) {
+  PHMSE_CHECK(!constraint.noise.empty(), "mixture needs >= 1 component");
+  double s0 = 0.0;
+  const double predicted =
+      linearize_scalar(ctx, state, constraint.geometry, g_, s0);
+  if (s0 <= 0.0) return;  // direction already fully determined
+
+  const double nu0 = constraint.geometry.observed - predicted;
+
+  // Posterior component weights via log-sum-exp.
+  const std::size_t k = constraint.noise.size();
+  std::vector<double> logl(k);
+  double max_logl = -1e300;
+  for (std::size_t i = 0; i < k; ++i) {
+    const NoiseComponent& c = constraint.noise[i];
+    PHMSE_CHECK(c.weight > 0.0 && c.sigma > 0.0,
+                "mixture component needs positive weight and sigma");
+    const double cap_s = s0 + c.sigma * c.sigma;
+    const double nu = nu0 - c.mean;
+    logl[i] = std::log(c.weight) -
+              0.5 * (std::log(cap_s) + nu * nu / cap_s);
+    max_logl = std::max(max_logl, logl[i]);
+  }
+  double norm = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    logl[i] = std::exp(logl[i] - max_logl);
+    norm += logl[i];
+  }
+
+  // Collapsed-posterior statistics along the gain direction.
+  double a1 = 0.0;  // sum w nu/S          (mean shift multiplier)
+  double a2 = 0.0;  // sum w / S           (variance reduction)
+  double a3 = 0.0;  // sum w (nu/S)^2      (spread of component means)
+  for (std::size_t i = 0; i < k; ++i) {
+    const NoiseComponent& c = constraint.noise[i];
+    const double w = logl[i] / norm;
+    const double cap_s = s0 + c.sigma * c.sigma;
+    const double ratio = (nu0 - c.mean) / cap_s;
+    a1 += w * ratio;
+    a2 += w / cap_s;
+    a3 += w * ratio * ratio;
+  }
+  const double alpha = -a2 + (a3 - a1 * a1);
+
+  // x += a1 * g;  C += alpha * g g^T.
+  dx_.assign(g_.size(), 0.0);
+  for (std::size_t i = 0; i < g_.size(); ++i) dx_[i] = a1 * g_[i];
+  linalg::vec_add_inplace(ctx, dx_, state.x);
+  linalg::rank1_update(ctx, g_, alpha, state.c);
+}
+
+void NonGaussianUpdater::apply_bound(par::ExecContext& ctx, NodeState& state,
+                                     const BoundConstraint& constraint) {
+  PHMSE_CHECK(constraint.lower <= constraint.upper,
+              "bound constraint interval is inverted");
+  PHMSE_CHECK(constraint.tail_sigma > 0.0,
+              "bound constraint needs a positive tail sigma");
+  cons::Constraint geom;
+  geom.kind = constraint.kind;
+  geom.atoms = constraint.atoms;
+  geom.axis = constraint.axis;
+
+  double s0 = 0.0;
+  const double predicted = linearize_scalar(ctx, state, geom, g_, s0);
+  if (s0 <= 1e-300) return;
+
+  // Predictive distribution of the measured quantity y = h(x) is
+  // N(predicted, s0 + tail^2) — the bound softness enters as measurement
+  // noise.  Moment-match it against the interval to get the target
+  // posterior marginal (m1, v1) of y.
+  const double tail2 = constraint.tail_sigma * constraint.tail_sigma;
+  const double pred_var = s0 + tail2;
+  double m1 = 0.0;
+  double v1 = 0.0;
+  truncated_normal_moments(predicted, std::sqrt(pred_var), constraint.lower,
+                           constraint.upper, m1, v1);
+  // The bound can never pin y tighter than its own softness.
+  v1 = std::max(v1, std::min(tail2, 0.9 * pred_var));
+
+  // If the prior on y (variance s0) is already at least as tight as the
+  // target, the bound carries no further information — once the estimate
+  // is more certain than the interval softness, bounds become inert.
+  if (v1 >= s0 * (1.0 - 1e-9)) return;
+
+  // A Gaussian update of the y-prior N(predicted, s0) that lands exactly
+  // on (m1, v1) shifts the state by g*(m1 - predicted)/s0 and shrinks the
+  // covariance by g g^T * (s0 - v1)/s0^2 (the equivalent observation has
+  // variance r_eq = s0*v1/(s0 - v1); these are its gain expressions).
+  const double gain_mult = (m1 - predicted) / s0;
+  const double shrink = (s0 - v1) / (s0 * s0);
+
+  dx_.assign(g_.size(), 0.0);
+  for (std::size_t i = 0; i < g_.size(); ++i) dx_[i] = gain_mult * g_[i];
+  linalg::vec_add_inplace(ctx, dx_, state.x);
+  linalg::rank1_update(ctx, g_, -shrink, state.c);
+}
+
+void NonGaussianUpdater::apply_bounds(
+    par::ExecContext& ctx, NodeState& state,
+    const std::vector<BoundConstraint>& constraints) {
+  for (const BoundConstraint& c : constraints) apply_bound(ctx, state, c);
+}
+
+}  // namespace phmse::est

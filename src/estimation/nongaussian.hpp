@@ -1,0 +1,96 @@
+// Non-Gaussian constraints (the extension the paper cites as [2]:
+// Altman, Chen, Poland & Singh, "Probabilistic Constraint Satisfaction
+// with Non-Gaussian Noise", UAI'94).
+//
+// Two non-Gaussian observation models are supported, both reduced to the
+// Gaussian machinery of update.hpp at the point of application:
+//
+// * Bound (interval) constraints — the natural form of NOE data: the
+//   measured quantity lies in [lower, upper].  The scalar predictive
+//   distribution of the measurement is moment-matched against the interval
+//   (truncated-normal moments), and the result is converted into an
+//   *equivalent Gaussian observation* (z_eq, r_eq) that produces exactly
+//   that posterior mean and variance, which is then applied with the
+//   standard update.  A bound that the prediction already satisfies
+//   comfortably carries little information and produces a near-no-op.
+//
+// * Gaussian-mixture noise — z = h(x) + v with v ~ sum_k w_k N(mu_k,
+//   sigma_k^2), which models outlier-prone measurements (e.g. a slab-and-
+//   spike error model) or multimodal calibrations.  Each component yields
+//   a scalar Kalman update; the component posteriors are collapsed by
+//   moment matching.  The collapsed covariance differs from the prior by a
+//   rank-1 term along the gain direction, which can even *increase*
+//   variance when the components disagree — faithfully representing the
+//   added ambiguity.
+#pragma once
+
+#include <vector>
+
+#include "constraints/constraint.hpp"
+#include "estimation/state.hpp"
+#include "parallel/exec.hpp"
+
+namespace phmse::est {
+
+/// One component of a Gaussian-mixture noise model.
+struct NoiseComponent {
+  double weight = 1.0;  // mixture weight (normalized internally)
+  double mean = 0.0;    // noise bias of this component
+  double sigma = 1.0;   // noise standard deviation
+};
+
+/// A scalar constraint whose noise is a Gaussian mixture.  `geometry.kind`,
+/// `geometry.atoms`, `geometry.axis` and `geometry.observed` are used;
+/// `geometry.variance` is ignored in favour of the mixture.
+struct MixtureConstraint {
+  cons::Constraint geometry;
+  std::vector<NoiseComponent> noise;
+};
+
+/// A scalar interval constraint: the measured quantity lies in
+/// [lower, upper]; `tail_sigma` is the softness of the bounds (measurement
+/// uncertainty of the interval endpoints).
+struct BoundConstraint {
+  cons::Kind kind = cons::Kind::kDistance;
+  std::array<Index, 4> atoms = {0, 0, 0, 0};
+  int axis = 0;
+  double lower = 0.0;
+  double upper = 0.0;
+  double tail_sigma = 0.1;
+};
+
+/// Mean and variance of N(mu, sigma^2) truncated to [a, b].  Falls back to
+/// clamping toward the nearest bound when the interval mass underflows.
+/// Exposed for tests.
+void truncated_normal_moments(double mu, double sigma, double a, double b,
+                              double& mean, double& var);
+
+/// Applies non-Gaussian scalar constraints to a node state.
+class NonGaussianUpdater {
+ public:
+  /// Applies one mixture-noise constraint.  Exactly equivalent to the
+  /// standard scalar update when the mixture has a single zero-mean
+  /// component.
+  void apply_mixture(par::ExecContext& ctx, NodeState& state,
+                     const MixtureConstraint& constraint);
+
+  /// Applies one interval constraint via the equivalent-Gaussian reduction.
+  void apply_bound(par::ExecContext& ctx, NodeState& state,
+                   const BoundConstraint& constraint);
+
+  /// Convenience: applies a whole set of bounds in sequence.
+  void apply_bounds(par::ExecContext& ctx, NodeState& state,
+                    const std::vector<BoundConstraint>& constraints);
+
+ private:
+  /// Computes h, the gain direction g = C H^T (a vector for scalar
+  /// constraints) and the predictive variance s0 = H C H^T.
+  double linearize_scalar(par::ExecContext& ctx, const NodeState& state,
+                          const cons::Constraint& c, linalg::Vector& g,
+                          double& s0);
+
+  linalg::Vector g_;   // gain direction scratch
+  linalg::Vector dx_;  // state-correction scratch
+};
+
+}  // namespace phmse::est

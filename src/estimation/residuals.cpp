@@ -1,0 +1,135 @@
+#include "estimation/residuals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace phmse::est {
+namespace {
+
+// Scalar linearization: h(x), and s = H C H^T for one constraint.
+double predict(const NodeState& state, const cons::Constraint& c,
+               double& innovation_var) {
+  std::array<mol::Vec3, 4> pos{};
+  const Index na = cons::arity(c.kind);
+  for (Index k = 0; k < na; ++k) {
+    pos[static_cast<std::size_t>(k)] =
+        state.position(c.atoms[static_cast<std::size_t>(k)]);
+  }
+  cons::Gradient grad;
+  const double h = cons::evaluate_with_gradient(c, pos, grad);
+
+  // s = sum_ab H_a C(a,b) H_b over the touched coordinates.
+  std::array<std::pair<Index, double>, 12> hrow;
+  int nnz = 0;
+  for (Index k = 0; k < na; ++k) {
+    const Index col =
+        state.coord_index(c.atoms[static_cast<std::size_t>(k)], 0);
+    const mol::Vec3& g = grad.d[static_cast<std::size_t>(k)];
+    hrow[static_cast<std::size_t>(nnz++)] = {col + 0, g.x};
+    hrow[static_cast<std::size_t>(nnz++)] = {col + 1, g.y};
+    hrow[static_cast<std::size_t>(nnz++)] = {col + 2, g.z};
+  }
+  double s = 0.0;
+  for (int a = 0; a < nnz; ++a) {
+    for (int b = 0; b < nnz; ++b) {
+      s += hrow[static_cast<std::size_t>(a)].second *
+           state.c(hrow[static_cast<std::size_t>(a)].first,
+                   hrow[static_cast<std::size_t>(b)].first) *
+           hrow[static_cast<std::size_t>(b)].second;
+    }
+  }
+  innovation_var = s;
+  return h;
+}
+
+}  // namespace
+
+std::vector<ResidualRecord> residual_records(
+    const NodeState& state, const cons::ConstraintSet& set) {
+  std::vector<ResidualRecord> out;
+  out.reserve(static_cast<std::size_t>(set.size()));
+  for (Index i = 0; i < set.size(); ++i) {
+    const cons::Constraint& c = set[i];
+    double s = 0.0;
+    const double h = predict(state, c, s);
+    ResidualRecord rec;
+    rec.constraint_index = i;
+    rec.residual = c.observed - h;
+    rec.predicted_sigma = std::sqrt(std::max(0.0, s) + c.variance);
+    rec.normalized = rec.predicted_sigma > 0.0
+                         ? rec.residual / rec.predicted_sigma
+                         : 0.0;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+ResidualStats overall_stats(const std::vector<ResidualRecord>& records,
+                            const cons::ConstraintSet& set) {
+  (void)set;
+  ResidualStats st;
+  st.count = static_cast<Index>(records.size());
+  if (records.empty()) return st;
+  double sum2 = 0.0;
+  double chi2 = 0.0;
+  for (const ResidualRecord& r : records) {
+    sum2 += r.residual * r.residual;
+    chi2 += r.normalized * r.normalized;
+    st.max_abs = std::max(st.max_abs, std::abs(r.residual));
+  }
+  st.rms = std::sqrt(sum2 / static_cast<double>(records.size()));
+  st.mean_chi2 = chi2 / static_cast<double>(records.size());
+  return st;
+}
+
+std::map<int, ResidualStats> stats_by_category(
+    const std::vector<ResidualRecord>& records,
+    const cons::ConstraintSet& set) {
+  std::map<int, std::vector<ResidualRecord>> grouped;
+  for (const ResidualRecord& r : records) {
+    grouped[set[r.constraint_index].category].push_back(r);
+  }
+  std::map<int, ResidualStats> out;
+  for (const auto& [cat, recs] : grouped) {
+    out[cat] = overall_stats(recs, set);
+  }
+  return out;
+}
+
+std::vector<ResidualRecord> worst_residuals(
+    std::vector<ResidualRecord> records, Index count) {
+  std::sort(records.begin(), records.end(),
+            [](const ResidualRecord& a, const ResidualRecord& b) {
+              return std::abs(a.normalized) > std::abs(b.normalized);
+            });
+  if (static_cast<Index>(records.size()) > count) {
+    records.resize(static_cast<std::size_t>(count));
+  }
+  return records;
+}
+
+std::string residual_report(const NodeState& state,
+                            const cons::ConstraintSet& set,
+                            Index highlight_count) {
+  const auto records = residual_records(state, set);
+  const ResidualStats all = overall_stats(records, set);
+  std::ostringstream os;
+  os << "residuals: " << all.count << " constraints, rms " << all.rms
+     << ", worst " << all.max_abs << ", mean chi2 " << all.mean_chi2
+     << "\n";
+  for (const auto& [cat, st] : stats_by_category(records, set)) {
+    os << "  category " << cat << ": n=" << st.count << " rms=" << st.rms
+       << " chi2=" << st.mean_chi2 << "\n";
+  }
+  os << "largest normalized residuals:\n";
+  for (const ResidualRecord& r : worst_residuals(records, highlight_count)) {
+    os << "  constraint " << r.constraint_index << ": r=" << r.residual
+       << " (" << r.normalized << " sigma)\n";
+  }
+  return os.str();
+}
+
+}  // namespace phmse::est

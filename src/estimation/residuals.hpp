@@ -1,0 +1,62 @@
+// Residual diagnostics: does the estimate actually explain the data, and
+// is the reported uncertainty consistent with the misfit?
+//
+// For each constraint the residual r = z - h(x) is compared against its
+// predicted standard deviation sqrt(H C H^T + R).  The normalized residual
+// (r over that sigma) should look standard-normal when the filter is
+// consistent; per-category statistics localize problems (e.g. junction
+// data systematically misfit while intra-base geometry is tight).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraints/set.hpp"
+#include "estimation/state.hpp"
+
+namespace phmse::est {
+
+/// Misfit statistics for a group of constraints.
+struct ResidualStats {
+  Index count = 0;
+  double rms = 0.0;           // RMS of raw residuals
+  double max_abs = 0.0;       // worst raw residual
+  /// Mean of squared normalized residuals r^2 / (H C H^T + R); ~1 for a
+  /// consistent filter, >> 1 when the covariance is overconfident.
+  double mean_chi2 = 0.0;
+};
+
+/// Per-constraint diagnostic record.
+struct ResidualRecord {
+  Index constraint_index = 0;
+  double residual = 0.0;
+  double predicted_sigma = 0.0;  // sqrt(H C H^T + R)
+  double normalized = 0.0;       // residual / predicted_sigma
+};
+
+/// Evaluates every constraint at `state` (which must cover all referenced
+/// atoms) and returns the per-constraint records.
+std::vector<ResidualRecord> residual_records(const NodeState& state,
+                                             const cons::ConstraintSet& set);
+
+/// Aggregates records over all constraints.
+ResidualStats overall_stats(const std::vector<ResidualRecord>& records,
+                            const cons::ConstraintSet& set);
+
+/// Aggregates records per generator category.
+std::map<int, ResidualStats> stats_by_category(
+    const std::vector<ResidualRecord>& records,
+    const cons::ConstraintSet& set);
+
+/// The `count` constraints with the largest |normalized residual| — the
+/// measurements the estimate most disagrees with (outlier candidates).
+std::vector<ResidualRecord> worst_residuals(
+    std::vector<ResidualRecord> records, Index count);
+
+/// Human-readable misfit report.
+std::string residual_report(const NodeState& state,
+                            const cons::ConstraintSet& set,
+                            Index highlight_count = 5);
+
+}  // namespace phmse::est

@@ -1,0 +1,44 @@
+#include "estimation/solver.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace phmse::est {
+
+SolveResult solve_flat(par::ExecContext& ctx, NodeState& state,
+                       const cons::ConstraintSet& set,
+                       const SolveOptions& options) {
+  PHMSE_CHECK(options.max_cycles >= 1, "need at least one cycle");
+  const auto span = set.atom_span();
+  PHMSE_CHECK(set.empty() || (span.first >= state.atom_begin &&
+                              span.second < state.atom_end),
+              "constraints reference atoms outside the state");
+
+  BatchUpdater updater;
+  SolveResult result;
+  for (int cycle = 0; cycle < options.max_cycles; ++cycle) {
+    state.reset_covariance(options.prior_sigma);
+    const linalg::Vector before = state.x;
+    updater.apply_all(ctx, state, set, options.batch_size,
+                      options.symmetrize_every);
+    ++result.cycles;
+
+    double sum = 0.0;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      const double d = state.x[i] - before[i];
+      sum += d * d;
+    }
+    result.last_cycle_delta =
+        before.empty() ? 0.0
+                       : std::sqrt(sum / static_cast<double>(before.size()));
+    if (options.tolerance > 0.0 &&
+        result.last_cycle_delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace phmse::est

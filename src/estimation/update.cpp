@@ -1,0 +1,106 @@
+#include "estimation/update.hpp"
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
+#include "support/check.hpp"
+
+namespace phmse::est {
+
+using cons::Constraint;
+using linalg::CsrBuilder;
+
+void BatchUpdater::linearize(par::ExecContext& ctx, const NodeState& state,
+                             std::span<const cons::Constraint> batch) {
+  const Index m = static_cast<Index>(batch.size());
+  residual_.resize(static_cast<std::size_t>(m));
+  rdiag_.resize(static_cast<std::size_t>(m));
+
+  // Jacobian assembly is sequential (CSR rows build in order), but it is
+  // O(m) work per batch — the paper leaves it outside the six categories.
+  auto cost = [&](Index, Index) {
+    par::KernelStats st;
+    st.flops = 60.0 * static_cast<double>(m);  // ~ per-constraint evaluation
+    st.bytes_stream = 48.0 * static_cast<double>(m);
+    return st;
+  };
+  ctx.sequential(perf::Category::kOther, cost, [&] {
+    CsrBuilder builder(state.dim());
+    for (Index j = 0; j < m; ++j) {
+      const Constraint& c = batch[static_cast<std::size_t>(j)];
+      const Index na = cons::arity(c.kind);
+      std::array<mol::Vec3, 4> pos{};
+      for (Index k = 0; k < na; ++k) {
+        pos[static_cast<std::size_t>(k)] =
+            state.position(c.atoms[static_cast<std::size_t>(k)]);
+      }
+      cons::Gradient grad;
+      const double predicted = cons::evaluate_with_gradient(c, pos, grad);
+      residual_[static_cast<std::size_t>(j)] = c.observed - predicted;
+      rdiag_[static_cast<std::size_t>(j)] = c.variance;
+
+      builder.begin_row();
+      for (Index k = 0; k < na; ++k) {
+        const Index atom = c.atoms[static_cast<std::size_t>(k)];
+        const mol::Vec3& g = grad.d[static_cast<std::size_t>(k)];
+        const Index col = state.coord_index(atom, 0);
+        if (g.x != 0.0) builder.add(col + 0, g.x);
+        if (g.y != 0.0) builder.add(col + 1, g.y);
+        if (g.z != 0.0) builder.add(col + 2, g.z);
+      }
+    }
+    h_ = builder.finish();
+  });
+}
+
+void BatchUpdater::apply(par::ExecContext& ctx, NodeState& state,
+                         std::span<const cons::Constraint> batch) {
+  if (batch.empty()) return;
+  const Index n = state.dim();
+
+  linearize(ctx, state, batch);
+
+  linalg::sparse_dense(ctx, h_, state.c, g_);             // G = H C       d-s
+  linalg::innovation_covariance(ctx, g_, h_, rdiag_, s_); // S = G H^T + R m-m
+  linalg::cholesky(ctx, s_);                              // S = L L^T    chol
+  linalg::trsm_lower(ctx, s_, g_);                        // W = L^-1 G    sys
+  // With W = L^{-1} H C- the remaining steps become symmetric by
+  // construction:
+  //   K (z - h) = (H C-)^T S^{-1} r = W^T (L^{-1} r)        and
+  //   C+ = C- - K H C- = C- - (HC)^T S^{-1} (HC) = C- - W^T W.
+  linalg::Vector w = residual_;
+  ctx.sequential(
+      perf::Category::kSystemSolve,
+      [&](Index, Index) {
+        par::KernelStats st;
+        const double md = static_cast<double>(w.size());
+        st.flops = md * md;
+        st.bytes_stream = 8.0 * md * md / 2.0;
+        return st;
+      },
+      [&] { linalg::trsv_lower(s_, w); });           // w = L^-1 r        sys
+  dx_.assign(static_cast<std::size_t>(n), 0.0);
+  linalg::gain_times_residual(ctx, g_, w, dx_);      // dx = W^T w        m-v
+  linalg::vec_add_inplace(ctx, dx_, state.x);        // x += dx           vec
+  linalg::covariance_downdate(ctx, g_, g_, state.c); // C -= W^T W        m-v
+}
+
+void BatchUpdater::apply_all(par::ExecContext& ctx, NodeState& state,
+                             const cons::ConstraintSet& set, Index batch_size,
+                             Index symmetrize_every) {
+  PHMSE_CHECK(batch_size >= 1, "batch size must be >= 1");
+  const auto& all = set.all();
+  Index applied_batches = 0;
+  for (Index start = 0; start < set.size(); start += batch_size) {
+    const Index len = std::min(batch_size, set.size() - start);
+    apply(ctx, state,
+          std::span<const cons::Constraint>(all.data() + start,
+                                            static_cast<std::size_t>(len)));
+    ++applied_batches;
+    if (symmetrize_every > 0 && applied_batches % symmetrize_every == 0) {
+      linalg::symmetrize(ctx, state.c);
+    }
+  }
+}
+
+}  // namespace phmse::est

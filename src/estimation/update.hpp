@@ -1,0 +1,59 @@
+// The sequential update algorithm (paper Figure 1) for one constraint batch.
+//
+// Given the estimate (x-, C-) and an m-dimensional observation batch
+// z = h(x) + v, v ~ N(0, R):
+//   H  = dh/dx |x-                          (sparse, m x n)
+//   G  = H C-                               (d-s;  G^T = C- H^T)
+//   S  = G H^T + R                          (m-m;  innovation covariance)
+//   S  = L L^T                              (chol)
+//   V  = L^{-T} L^{-1} G                    (sys;  V = K^T, the gain)
+//   x+ = x- + V^T (z - h(x-))               (m-v / vec)
+//   C+ = C- - V^T G                         (m-v;  see kernels.hpp)
+//
+// BatchUpdater owns the scratch buffers so repeated application over
+// thousands of batches does not allocate.
+#pragma once
+
+#include <span>
+
+#include "constraints/set.hpp"
+#include "estimation/state.hpp"
+#include "linalg/csr.hpp"
+#include "parallel/exec.hpp"
+
+namespace phmse::est {
+
+/// Applies constraint batches to a NodeState (paper Fig. 1).
+class BatchUpdater {
+ public:
+  BatchUpdater() = default;
+
+  /// Applies one batch of scalar constraints to `state`.  All constraint
+  /// atoms must lie inside the state's atom range.  Execution (serial,
+  /// threaded, or simulated) is directed by `ctx`.
+  void apply(par::ExecContext& ctx, NodeState& state,
+             std::span<const cons::Constraint> batch);
+
+  /// Applies an entire set in consecutive batches of `batch_size` (the last
+  /// batch may be smaller).  Symmetrizes the covariance every
+  /// `symmetrize_every` batches (0 disables) to contain round-off drift.
+  void apply_all(par::ExecContext& ctx, NodeState& state,
+                 const cons::ConstraintSet& set, Index batch_size,
+                 Index symmetrize_every = 64);
+
+ private:
+  /// Evaluates the batch at the current state: fills residual_, rdiag_ and
+  /// the Jacobian.  Charged to the `other` category (the paper's O(m)
+  /// constraint-function evaluation).
+  void linearize(par::ExecContext& ctx, const NodeState& state,
+                 std::span<const cons::Constraint> batch);
+
+  linalg::Csr h_;
+  linalg::Matrix g_;        // H * C            (m x n)
+  linalg::Matrix s_;        // innovation cov   (m x m)
+  linalg::Vector residual_; // z - h(x)         (m)
+  linalg::Vector rdiag_;    // noise variances  (m)
+  linalg::Vector dx_;       // state correction (n)
+};
+
+}  // namespace phmse::est

@@ -1,0 +1,121 @@
+#include "linalg/blas.hpp"
+
+#include <cmath>
+
+namespace phmse::linalg {
+
+double dot(const double* x, const double* y, Index n) {
+  double s = 0.0;
+  for (Index i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void axpy(double a, const double* x, double* y, Index n) {
+  for (Index i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void gemv(const Matrix& a, const Vector& x, Vector& y) {
+  PHMSE_CHECK(static_cast<Index>(x.size()) == a.cols(),
+              "gemv: x size mismatch");
+  y.assign(static_cast<std::size_t>(a.rows()), 0.0);
+  for (Index i = 0; i < a.rows(); ++i) {
+    y[static_cast<std::size_t>(i)] = dot(a.row(i).data(), x.data(), a.cols());
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  PHMSE_CHECK(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      axpy(aik, b.row(k).data(), c.row(i).data(), b.cols());
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  PHMSE_CHECK(a.rows() == b.rows(), "matmul_tn: inner dimension mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (Index k = 0; k < a.rows(); ++k) {
+    for (Index i = 0; i < a.cols(); ++i) {
+      const double aki = a(k, i);
+      if (aki == 0.0) continue;
+      axpy(aki, b.row(k).data(), c.row(i).data(), b.cols());
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+void cholesky_serial(Matrix& a) {
+  PHMSE_CHECK(a.rows() == a.cols(), "cholesky: matrix must be square");
+  const Index n = a.rows();
+  for (Index j = 0; j < n; ++j) {
+    double d = a(j, j) - dot(a.row(j).data(), a.row(j).data(), j);
+    PHMSE_CHECK(d > 0.0, "cholesky: matrix is not positive definite");
+    d = std::sqrt(d);
+    a(j, j) = d;
+    const double inv = 1.0 / d;
+    for (Index i = j + 1; i < n; ++i) {
+      const double s = a(i, j) - dot(a.row(i).data(), a.row(j).data(), j);
+      a(i, j) = s * inv;
+    }
+    for (Index k = j + 1; k < n; ++k) a(j, k) = 0.0;
+  }
+}
+
+void trsv_lower(const Matrix& l, Vector& x) {
+  PHMSE_CHECK(l.rows() == l.cols(), "trsv: matrix must be square");
+  PHMSE_CHECK(static_cast<Index>(x.size()) == l.rows(),
+              "trsv: rhs size mismatch");
+  const Index n = l.rows();
+  for (Index i = 0; i < n; ++i) {
+    double s = x[static_cast<std::size_t>(i)] -
+               dot(l.row(i).data(), x.data(), i);
+    x[static_cast<std::size_t>(i)] = s / l(i, i);
+  }
+}
+
+void trsv_lower_transposed(const Matrix& l, Vector& x) {
+  PHMSE_CHECK(l.rows() == l.cols(), "trsv: matrix must be square");
+  PHMSE_CHECK(static_cast<Index>(x.size()) == l.rows(),
+              "trsv: rhs size mismatch");
+  const Index n = l.rows();
+  for (Index i = n - 1; i >= 0; --i) {
+    double s = x[static_cast<std::size_t>(i)];
+    for (Index k = i + 1; k < n; ++k) {
+      s -= l(k, i) * x[static_cast<std::size_t>(k)];
+    }
+    x[static_cast<std::size_t>(i)] = s / l(i, i);
+  }
+}
+
+Matrix spd_solve(const Matrix& a, const Matrix& b) {
+  PHMSE_CHECK(a.rows() == a.cols(), "spd_solve: A must be square");
+  PHMSE_CHECK(a.rows() == b.rows(), "spd_solve: dimension mismatch");
+  Matrix l = a;
+  cholesky_serial(l);
+  // Solve column by column: L L^T x = b.
+  Matrix x = b;
+  const Index n = a.rows();
+  Vector col(static_cast<std::size_t>(n));
+  for (Index j = 0; j < b.cols(); ++j) {
+    for (Index i = 0; i < n; ++i) col[static_cast<std::size_t>(i)] = x(i, j);
+    trsv_lower(l, col);
+    trsv_lower_transposed(l, col);
+    for (Index i = 0; i < n; ++i) x(i, j) = col[static_cast<std::size_t>(i)];
+  }
+  return x;
+}
+
+}  // namespace phmse::linalg

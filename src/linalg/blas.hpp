@@ -1,0 +1,46 @@
+// Serial dense building blocks.
+//
+// These are the reference implementations: straightforward, obviously
+// correct loops used by unit tests and by the serial inner bodies of the
+// parallel kernels in kernels.cpp.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace phmse::linalg {
+
+/// dot(x, y) over `n` elements.
+double dot(const double* x, const double* y, Index n);
+
+/// y += a * x over `n` elements.
+void axpy(double a, const double* x, double* y, Index n);
+
+/// y = A * x  (A: rows x cols, x: cols, y: rows).
+void gemv(const Matrix& a, const Vector& x, Vector& y);
+
+/// C = A * B  (naive triple loop; tests only).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B (tests only).
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+/// B = A^T (tests only).
+Matrix transpose(const Matrix& a);
+
+/// In-place serial Cholesky factorization A = L L^T of an SPD matrix;
+/// overwrites the lower triangle with L and zeroes the strict upper
+/// triangle.  Throws phmse::Error if A is not positive definite.
+void cholesky_serial(Matrix& a);
+
+/// Solves L * x = b in place (L lower triangular, unit or not per diag).
+void trsv_lower(const Matrix& l, Vector& x);
+
+/// Solves L^T * x = b in place.
+void trsv_lower_transposed(const Matrix& l, Vector& x);
+
+/// Solves A X = B for SPD A using a serial Cholesky factorization; returns
+/// X.  B's rows are RHS-stacked: A (n x n), B (n x k).  Tests and the
+/// Fig. 3 combination procedure use this.
+Matrix spd_solve(const Matrix& a, const Matrix& b);
+
+}  // namespace phmse::linalg

@@ -1,0 +1,125 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "support/check.hpp"
+
+namespace phmse::linalg {
+namespace {
+
+using par::KernelStats;
+using perf::Category;
+
+constexpr double kBytes = 8.0;
+
+// Factors the diagonal block [k, k+b) in place, using already-final columns
+// [0, k) of the panel rows.  Sequential.
+void factor_panel(Matrix& a, Index k, Index b) {
+  for (Index j = k; j < k + b; ++j) {
+    double d = a(j, j) - dot(a.row(j).data() + k, a.row(j).data() + k, j - k);
+    PHMSE_CHECK(d > 0.0, "cholesky: matrix is not positive definite");
+    d = std::sqrt(d);
+    a(j, j) = d;
+    const double inv = 1.0 / d;
+    for (Index i = j + 1; i < k + b; ++i) {
+      const double s =
+          a(i, j) - dot(a.row(i).data() + k, a.row(j).data() + k, j - k);
+      a(i, j) = s * inv;
+    }
+  }
+}
+
+}  // namespace
+
+void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
+  PHMSE_CHECK(a.rows() == a.cols(), "cholesky: matrix must be square");
+  PHMSE_CHECK(block_size >= 1, "cholesky: block size must be >= 1");
+  const Index n = a.rows();
+
+  for (Index k = 0; k < n; k += block_size) {
+    const Index b = std::min(block_size, n - k);
+
+    // Panel factorization: sequential dependency chain.
+    ctx.sequential(
+        Category::kCholesky,
+        [&](Index, Index) {
+          KernelStats st;
+          const double bd = static_cast<double>(b);
+          st.flops = bd * bd * bd / 3.0 + 2.0 * bd * bd;
+          st.bytes_stream = kBytes * bd * static_cast<double>(k + b);
+          return st;
+        },
+        [&] { factor_panel(a, k, b); });
+
+    const Index rest = n - (k + b);
+    if (rest <= 0) continue;
+
+    // Row solve: A[k+b.., k..k+b) <- A[k+b.., k..k+b) * L11^{-T}.
+    ctx.parallel(
+        Category::kCholesky, rest,
+        [&](Index begin, Index end) {
+          KernelStats st;
+          const double rows = static_cast<double>(end - begin);
+          const double bd = static_cast<double>(b);
+          st.flops = rows * bd * bd;
+          st.bytes_stream = kBytes * rows * bd * 2.0;
+          return st;
+        },
+        [&](Index begin, Index end, int /*lane*/) {
+          for (Index ii = begin; ii < end; ++ii) {
+            const Index i = k + b + ii;
+            double* arow = a.row(i).data();
+            for (Index j = k; j < k + b; ++j) {
+              double s = arow[j] - dot(arow + k, a.row(j).data() + k, j - k);
+              arow[j] = s / a(j, j);
+            }
+          }
+        });
+
+    // Trailing update: A22 -= A21 * A21^T (lower triangle only).
+    ctx.parallel(
+        Category::kCholesky, rest,
+        [&](Index begin, Index end) {
+          KernelStats st;
+          const double bd = static_cast<double>(b);
+          // Row i of the trailing block updates i+1 partial dots of width b.
+          double inner = 0.0;
+          for (Index ii = begin; ii < end; ++ii) {
+            inner += static_cast<double>(ii + 1);
+          }
+          st.flops = 2.0 * inner * bd;
+          st.bytes_stream = kBytes * inner * 1.0 +
+                            kBytes * static_cast<double>(end - begin) * bd;
+          return st;
+        },
+        [&](Index begin, Index end, int /*lane*/) {
+          for (Index ii = begin; ii < end; ++ii) {
+            const Index i = k + b + ii;
+            const double* ai = a.row(i).data() + k;
+            double* arow = a.row(i).data();
+            for (Index j = k + b; j <= i; ++j) {
+              arow[j] -= dot(ai, a.row(j).data() + k, b);
+            }
+          }
+        });
+  }
+
+  // Zero the strict upper triangle so L is directly usable.
+  ctx.parallel(
+      Category::kCholesky, n,
+      [&](Index begin, Index end) {
+        KernelStats st;
+        st.bytes_stream =
+            kBytes * static_cast<double>(end - begin) * static_cast<double>(n) / 2.0;
+        return st;
+      },
+      [&](Index begin, Index end, int /*lane*/) {
+        for (Index i = begin; i < end; ++i) {
+          double* arow = a.row(i).data();
+          for (Index j = i + 1; j < n; ++j) arow[j] = 0.0;
+        }
+      });
+}
+
+}  // namespace phmse::linalg

@@ -1,0 +1,20 @@
+// Blocked Cholesky factorization against an ExecContext.
+//
+// The innovation covariance S is small (the constraint batch dimension,
+// typically 16), so most of the factorization is an inherently sequential
+// panel — this is exactly why the paper reports poor parallel scaling for
+// the `chol` category.  For large matrices (the Fig.-3 combination
+// procedure factors n x n covariances) the trailing updates parallelize.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "parallel/exec.hpp"
+
+namespace phmse::linalg {
+
+/// In-place blocked Cholesky A = L L^T; lower triangle receives L, strict
+/// upper triangle is zeroed.  Throws phmse::Error if A is not (numerically)
+/// positive definite.  Category: chol.
+void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size = 48);
+
+}  // namespace phmse::linalg

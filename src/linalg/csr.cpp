@@ -1,0 +1,53 @@
+#include "linalg/csr.hpp"
+
+#include <algorithm>
+
+namespace phmse::linalg {
+
+double Csr::at(Index i, Index j) const {
+  const auto idx = row_indices(i);
+  const auto val = row_values(i);
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    if (idx[k] == j) return val[k];
+  }
+  return 0.0;
+}
+
+Index CsrBuilder::begin_row() {
+  flush_row();
+  in_row_ = true;
+  return out_.rows();
+}
+
+void CsrBuilder::add(Index col, double value) {
+  PHMSE_CHECK(in_row_, "add() requires an open row (call begin_row first)");
+  PHMSE_CHECK(col >= 0 && col < cols_, "column index out of range");
+  current_.emplace_back(col, value);
+}
+
+void CsrBuilder::flush_row() {
+  if (!in_row_) return;
+  std::sort(current_.begin(), current_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t k = 0; k < current_.size(); ++k) {
+    if (k > 0 && current_[k].first == out_.col_idx_.back()) {
+      out_.values_.back() += current_[k].second;  // merge duplicate column
+    } else {
+      out_.col_idx_.push_back(current_[k].first);
+      out_.values_.push_back(current_[k].second);
+    }
+  }
+  out_.row_ptr_.push_back(out_.values_.size());
+  current_.clear();
+  in_row_ = false;
+}
+
+Csr CsrBuilder::finish() {
+  flush_row();
+  out_.cols_ = cols_;
+  Csr result = std::move(out_);
+  out_ = Csr{};
+  return result;
+}
+
+}  // namespace phmse::linalg

@@ -1,0 +1,77 @@
+// ExecContext-parallel kernels for the Fig.-1 update procedure.
+//
+// Category mapping (chosen to mirror the accounting in the paper's Tables
+// 3-6; see DESIGN.md):
+//   d-s  : G = H * C            (sparse Jacobian times dense covariance)
+//   m-m  : S = G * H^T + R      (innovation covariance assembly)
+//   chol : factor S = L L^T     (see cholesky.hpp)
+//   sys  : solve L W = G, L^T V = W  => V = K^T  (filter gain)
+//   m-v  : dx = V^T r, and the covariance update C -= V^T G, which is
+//          mathematically n dense matrix-vector products C(:,l) -= K a_l —
+//          the dominant operation, reported by the paper under m-v
+//   vec  : residuals, scalings, copies
+//
+// Every kernel takes an ExecContext so the same code runs serially, on a
+// real thread team, or on the simulated multiprocessor (src/simarch).
+#pragma once
+
+#include "linalg/csr.hpp"
+#include "linalg/matrix.hpp"
+#include "parallel/exec.hpp"
+
+namespace phmse::linalg {
+
+/// G = H * C.  H: m x n sparse, C: n x n dense, G resized to m x n.
+/// Parallel over the m rows of G.  Category: d-s.
+void sparse_dense(par::ExecContext& ctx, const Csr& h, const Matrix& c,
+                  Matrix& g);
+
+/// S = G * H^T + diag(r_diag).  G: m x n, H: m x n sparse, S resized to
+/// m x m.  `r_diag` holds the measurement noise variances (R is diagonal
+/// for independent scalar measurements).  Parallel over rows of S.
+/// Category: m-m.
+void innovation_covariance(par::ExecContext& ctx, const Matrix& g,
+                           const Csr& h, const Vector& r_diag, Matrix& s);
+
+/// In-place forward solve B <- L^{-1} B for lower-triangular L (m x m) and
+/// B (m x k).  Parallel over B's columns.  Category: sys.
+void trsm_lower(par::ExecContext& ctx, const Matrix& l, Matrix& b);
+
+/// In-place backward solve B <- L^{-T} B.  Parallel over B's columns.
+/// Category: sys.
+void trsm_lower_transposed(par::ExecContext& ctx, const Matrix& l, Matrix& b);
+
+/// dx += V^T r.  V: m x n (the gain transpose), r: m, dx: n.
+/// Category: m-v.
+void gain_times_residual(par::ExecContext& ctx, const Matrix& v,
+                         const Vector& r, Vector& dx);
+
+/// C -= V^T * G with V, G: m x n and C: n x n.  This is the covariance
+/// measurement update C -= K (C H^T)^T.  Parallel over rows of C; each row
+/// update streams the m rows of G (which fit in cache for the batch sizes
+/// the paper recommends).  Category: m-v (see file comment).
+void covariance_downdate(par::ExecContext& ctx, const Matrix& v,
+                         const Matrix& g, Matrix& c);
+
+/// out = W^T * W for W: m x n (out resized to n x n).  Used by the Fig.-3
+/// combination procedure to form information matrices.  Category: m-m.
+void gram(par::ExecContext& ctx, const Matrix& w, Matrix& out);
+
+/// C += coeff * v v^T (rank-1 symmetric update).  Used by the non-Gaussian
+/// (mixture) measurement update, whose collapsed posterior differs from the
+/// prior by a rank-1 term along the gain direction.  Category: m-v.
+void rank1_update(par::ExecContext& ctx, const Vector& v, double coeff,
+                  Matrix& c);
+
+/// out = a - b element-wise.  Category: vec.
+void vec_sub(par::ExecContext& ctx, const Vector& a, const Vector& b,
+             Vector& out);
+
+/// y += x element-wise.  Category: vec.
+void vec_add_inplace(par::ExecContext& ctx, const Vector& x, Vector& y);
+
+/// Enforces symmetry of square C by averaging mirror entries.  Parallel over
+/// rows.  Category: vec.
+void symmetrize(par::ExecContext& ctx, Matrix& c);
+
+}  // namespace phmse::linalg

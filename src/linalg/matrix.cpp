@@ -1,0 +1,73 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phmse::linalg {
+
+void Matrix::set_identity() { set_scaled_identity(1.0); }
+
+void Matrix::set_scaled_identity(double v) {
+  PHMSE_CHECK(rows_ == cols_, "identity requires a square matrix");
+  fill(0.0);
+  for (Index i = 0; i < rows_; ++i) (*this)(i, i) = v;
+}
+
+void Matrix::resize_zero(Index rows, Index cols) {
+  PHMSE_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be >= 0");
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(static_cast<std::size_t>(rows * cols), 0.0);
+}
+
+void Matrix::place_block(Index r0, Index c0, const Matrix& block) {
+  PHMSE_CHECK(r0 >= 0 && c0 >= 0 && r0 + block.rows() <= rows_ &&
+                  c0 + block.cols() <= cols_,
+              "block placement out of bounds");
+  for (Index i = 0; i < block.rows(); ++i) {
+    const auto src = block.row(i);
+    std::copy(src.begin(), src.end(), row(r0 + i).begin() + c0);
+  }
+}
+
+Matrix Matrix::extract_block(Index r0, Index c0, Index rows,
+                             Index cols) const {
+  PHMSE_CHECK(r0 >= 0 && c0 >= 0 && r0 + rows <= rows_ && c0 + cols <= cols_,
+              "block extraction out of bounds");
+  Matrix out(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    const auto src = row(r0 + i);
+    std::copy(src.begin() + c0, src.begin() + c0 + cols, out.row(i).begin());
+  }
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Matrix::frobenius_distance(const Matrix& other) const {
+  PHMSE_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "shape mismatch in frobenius_distance");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+void Matrix::symmetrize() {
+  PHMSE_CHECK(rows_ == cols_, "symmetrize requires a square matrix");
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index j = i + 1; j < cols_; ++j) {
+      const double avg = 0.5 * ((*this)(i, j) + (*this)(j, i));
+      (*this)(i, j) = avg;
+      (*this)(j, i) = avg;
+    }
+  }
+}
+
+}  // namespace phmse::linalg

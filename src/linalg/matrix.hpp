@@ -1,0 +1,91 @@
+// Dense row-major matrix and vector containers.
+//
+// The state covariance C (n x n), the sparse-dense product G = H*C (m x n)
+// and the gain-transpose K^T (m x n) are all stored row-major; every hot
+// kernel in src/linalg/kernels.cpp is written to stream along rows.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace phmse::linalg {
+
+/// Dense vector; a plain contiguous buffer of doubles.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), 0.0) {
+    PHMSE_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be >= 0");
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(Index i, Index j) {
+    PHMSE_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  double operator()(Index i, Index j) const {
+    PHMSE_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  /// Mutable view of row i.
+  std::span<double> row(Index i) {
+    PHMSE_ASSERT(i >= 0 && i < rows_);
+    return {data_.data() + i * cols_, static_cast<std::size_t>(cols_)};
+  }
+  std::span<const double> row(Index i) const {
+    PHMSE_ASSERT(i >= 0 && i < rows_);
+    return {data_.data() + i * cols_, static_cast<std::size_t>(cols_)};
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Sets this to the identity (must be square).
+  void set_identity();
+
+  /// Sets this to `v` times the identity (must be square).
+  void set_scaled_identity(double v);
+
+  /// Resizes to rows x cols, zero-filling all entries.
+  void resize_zero(Index rows, Index cols);
+
+  /// Writes `block` into this matrix with its (0,0) at (r0, c0).
+  void place_block(Index r0, Index c0, const Matrix& block);
+
+  /// Extracts the rows x cols block whose (0,0) is at (r0, c0).
+  Matrix extract_block(Index r0, Index c0, Index rows, Index cols) const;
+
+  /// Maximum absolute entry; 0 for an empty matrix.
+  double max_abs() const;
+
+  /// Frobenius norm of (this - other); matrices must agree in shape.
+  double frobenius_distance(const Matrix& other) const;
+
+  /// Enforces exact symmetry by averaging with the transpose (square only).
+  void symmetrize();
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace phmse::linalg

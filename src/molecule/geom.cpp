@@ -1,0 +1,31 @@
+#include "molecule/geom.hpp"
+
+namespace phmse::mol {
+
+double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+double bond_angle(const Vec3& a, const Vec3& b, const Vec3& c) {
+  const Vec3 u = a - b;
+  const Vec3 v = c - b;
+  const double denom = u.norm() * v.norm();
+  if (denom == 0.0) return 0.0;
+  double cosine = u.dot(v) / denom;
+  cosine = cosine > 1.0 ? 1.0 : (cosine < -1.0 ? -1.0 : cosine);
+  return std::acos(cosine);
+}
+
+double dihedral(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d) {
+  const Vec3 b1 = b - a;
+  const Vec3 b2 = c - b;
+  const Vec3 b3 = d - c;
+  const Vec3 n1 = b1.cross(b2);
+  const Vec3 n2 = b2.cross(b3);
+  const double nb2 = b2.norm();
+  // IUPAC sign convention: looking along b->c, clockwise rotation from the
+  // a-side projection to the d-side projection is positive.
+  const double x = n1.dot(n2);
+  const double y = b2.dot(n1.cross(n2)) / (nb2 == 0.0 ? 1.0 : nb2);
+  return std::atan2(y, x);
+}
+
+}  // namespace phmse::mol

@@ -1,0 +1,44 @@
+// 3-D geometric primitives shared by the molecule builders and the
+// constraint measurement functions.
+#pragma once
+
+#include <cmath>
+
+#include "support/types.hpp"
+
+namespace phmse::mol {
+
+/// A point or displacement in 3-space (Angstroms).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  double norm2() const { return dot(*this); }
+};
+
+/// Euclidean distance between two points.
+double distance(const Vec3& a, const Vec3& b);
+
+/// Bond angle at vertex b of the triple a-b-c, in radians (0..pi).
+double bond_angle(const Vec3& a, const Vec3& b, const Vec3& c);
+
+/// Dihedral (torsion) angle of the chain a-b-c-d, in radians (-pi..pi].
+double dihedral(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d);
+
+}  // namespace phmse::mol

@@ -1,0 +1,126 @@
+#include "molecule/rna_helix.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::mol {
+namespace {
+
+// A-form helical parameters.
+constexpr double kRisePerPair = 2.81;     // Angstrom along the axis
+constexpr double kTwistPerPair = 32.7 * M_PI / 180.0;
+constexpr double kBackboneRadius = 9.4;   // phosphate backbone radius
+constexpr double kSidechainRadius = 4.0;  // bases sit near the axis
+constexpr double kStrandPhase = 150.0 * M_PI / 180.0;  // minor-groove offset
+
+Vec3 cylindrical(double radius, double phi, double z) {
+  return {radius * std::cos(phi), radius * std::sin(phi), z};
+}
+
+// Lays down the atoms of one base.  `phi0`/`z0` locate the base's backbone
+// anchor on its strand; `inward` is +1/-1 selecting which way the sidechain
+// points (towards the paired base).
+void emit_base(Topology& topo, BaseGroup& group, char type,
+               const std::string& label_prefix, double phi0, double z0,
+               double inward, Rng& rng, double jitter) {
+  group.type = type;
+
+  // Backbone: kBackboneAtoms atoms winding along the strand between this
+  // base and the next, at the outer radius.
+  group.backbone_begin = topo.size();
+  for (Index k = 0; k < kBackboneAtoms; ++k) {
+    const double t = static_cast<double>(k) / kBackboneAtoms;
+    const double phi = phi0 + t * kTwistPerPair * 0.8;
+    const double z = z0 + t * kRisePerPair * 0.8;
+    const double r = kBackboneRadius - 1.2 * std::sin(t * M_PI);
+    Vec3 p = cylindrical(r, phi, z);
+    p += Vec3{rng.gaussian(0.0, jitter), rng.gaussian(0.0, jitter),
+              rng.gaussian(0.0, jitter)};
+    topo.add_atom(label_prefix + "_bb" + std::to_string(k), p);
+  }
+  group.backbone_end = topo.size();
+
+  // Sidechain: the base ring(s), stacked roughly perpendicular to the axis,
+  // reaching inward toward the helix axis.
+  group.sidechain_begin = topo.size();
+  const Index n_side = sidechain_atoms(type);
+  for (Index k = 0; k < n_side; ++k) {
+    const double ring = static_cast<double>(k) / static_cast<double>(n_side);
+    const double r = kBackboneRadius - 2.0 -
+                     (kBackboneRadius - 2.0 - kSidechainRadius) * ring;
+    const double phi = phi0 + inward * 0.25 * ring;
+    const double z = z0 + 0.6 * std::sin(ring * 2.0 * M_PI);
+    Vec3 p = cylindrical(r, phi, z);
+    p += Vec3{rng.gaussian(0.0, jitter), rng.gaussian(0.0, jitter),
+              rng.gaussian(0.0, jitter)};
+    topo.add_atom(label_prefix + "_sc" + std::to_string(k), p);
+  }
+  group.sidechain_end = topo.size();
+}
+
+}  // namespace
+
+Index sidechain_atoms(char type) {
+  switch (type) {
+    case 'A': return 10;
+    case 'C': return 8;
+    case 'G': return 11;
+    case 'U': return 8;
+    default:
+      PHMSE_CHECK(false, "unknown base type (want A, C, G or U)");
+  }
+  return 0;
+}
+
+char complement(char type) {
+  switch (type) {
+    case 'A': return 'U';
+    case 'U': return 'A';
+    case 'G': return 'C';
+    case 'C': return 'G';
+    default:
+      PHMSE_CHECK(false, "unknown base type (want A, C, G or U)");
+  }
+  return '?';
+}
+
+HelixModel build_helix(Index length, double jitter) {
+  PHMSE_CHECK(length >= 1, "helix needs at least one base pair");
+  static const char kPattern[] = {'G', 'C', 'A', 'U'};
+  std::string seq;
+  seq.reserve(static_cast<std::size_t>(length));
+  for (Index i = 0; i < length; ++i) {
+    seq.push_back(kPattern[static_cast<std::size_t>(i % 4)]);
+  }
+  return build_helix_with_sequence(seq, jitter);
+}
+
+HelixModel build_helix_with_sequence(const std::string& sequence,
+                                     double jitter) {
+  PHMSE_CHECK(!sequence.empty(), "helix needs at least one base pair");
+  HelixModel model;
+  model.sequence = sequence;
+  Rng rng(0x5eedULL + sequence.size());
+
+  const Index length = static_cast<Index>(sequence.size());
+  for (Index i = 0; i < length; ++i) {
+    const char t1 = sequence[static_cast<std::size_t>(i)];
+    const char t2 = complement(t1);
+    const double phi = static_cast<double>(i) * kTwistPerPair;
+    const double z = static_cast<double>(i) * kRisePerPair;
+
+    BasePair pair;
+    const std::string tag = std::to_string(i);
+    emit_base(model.topology, pair.strand1, t1,
+              std::string(1, t1) + tag + "a", phi, z, +1.0, rng, jitter);
+    emit_base(model.topology, pair.strand2, t2,
+              std::string(1, t2) + tag + "b", phi + kStrandPhase, z, -1.0,
+              rng, jitter);
+    model.pairs.push_back(pair);
+  }
+  return model;
+}
+
+}  // namespace phmse::mol

@@ -1,0 +1,74 @@
+// Synthetic A-form RNA double-helix builder.
+//
+// Reconstructs the paper's Helix data sets (Section 3.1): a double helix of
+// L base pairs whose bases consist of a common 12-atom backbone and a
+// type-specific sidechain (A=10, C=8, G=11, U=8 heavy atoms).  With the
+// repeating strand sequence "GCAU" the atom counts match the paper's
+// Table 1 exactly: 43, 86, 170, 340 and 680 atoms for 1, 2, 4, 8 and 16
+// base pairs.
+//
+// Atom order is hierarchical — for base pair i: strand-1 backbone,
+// strand-1 sidechain, strand-2 backbone, strand-2 sidechain — so every node
+// of the Fig.-2 decomposition owns a contiguous atom range.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "molecule/topology.hpp"
+#include "support/types.hpp"
+
+namespace phmse::mol {
+
+/// Atom-index ranges of one base (backbone + sidechain).
+struct BaseGroup {
+  char type = 'G';            // A, C, G or U
+  Index backbone_begin = 0;   // [backbone_begin, backbone_end)
+  Index backbone_end = 0;
+  Index sidechain_begin = 0;  // [sidechain_begin, sidechain_end)
+  Index sidechain_end = 0;
+
+  Index begin() const { return backbone_begin; }
+  Index end() const { return sidechain_end; }
+  Index size() const { return end() - begin(); }
+};
+
+/// One Watson-Crick base pair: a base on each strand.
+struct BasePair {
+  BaseGroup strand1;
+  BaseGroup strand2;
+
+  Index begin() const { return strand1.begin(); }
+  Index end() const { return strand2.end(); }
+};
+
+/// Number of heavy atoms in the sidechain of base `type`.
+Index sidechain_atoms(char type);
+
+/// Number of heavy atoms in the common backbone.
+inline constexpr Index kBackboneAtoms = 12;
+
+/// The Watson-Crick complement of `type`.
+char complement(char type);
+
+/// A generated RNA double helix: topology plus base-pair structure.
+struct HelixModel {
+  Topology topology;
+  std::vector<BasePair> pairs;
+  std::string sequence;  // strand-1 sequence, 5' to 3'
+
+  Index num_atoms() const { return topology.size(); }
+  Index num_pairs() const { return static_cast<Index>(pairs.size()); }
+};
+
+/// Builds an ideal A-form double helix with `length` base pairs using the
+/// repeating strand-1 sequence "GCAU" (which reproduces the paper's atom
+/// counts).  `jitter` adds a small deterministic per-atom displacement so
+/// that no constraint geometry is degenerate.
+HelixModel build_helix(Index length, double jitter = 0.15);
+
+/// Same, with an explicit strand-1 sequence (characters from {A,C,G,U}).
+HelixModel build_helix_with_sequence(const std::string& sequence,
+                                     double jitter = 0.15);
+
+}  // namespace phmse::mol

@@ -1,0 +1,48 @@
+#include "molecule/topology.hpp"
+
+#include <cmath>
+
+namespace phmse::mol {
+
+Index Topology::add_atom(std::string label, const Vec3& position) {
+  atoms_.push_back(Atom{std::move(label), position});
+  return size() - 1;
+}
+
+linalg::Vector Topology::true_state() const {
+  linalg::Vector x(static_cast<std::size_t>(3 * size()));
+  for (Index i = 0; i < size(); ++i) {
+    const Vec3& p = atoms_[static_cast<std::size_t>(i)].position;
+    x[static_cast<std::size_t>(3 * i + 0)] = p.x;
+    x[static_cast<std::size_t>(3 * i + 1)] = p.y;
+    x[static_cast<std::size_t>(3 * i + 2)] = p.z;
+  }
+  return x;
+}
+
+std::vector<Vec3> Topology::positions_from_state(
+    const linalg::Vector& state) const {
+  PHMSE_CHECK(static_cast<Index>(state.size()) == 3 * size(),
+              "state dimension does not match topology");
+  std::vector<Vec3> out(static_cast<std::size_t>(size()));
+  for (Index i = 0; i < size(); ++i) {
+    out[static_cast<std::size_t>(i)] =
+        Vec3{state[static_cast<std::size_t>(3 * i + 0)],
+             state[static_cast<std::size_t>(3 * i + 1)],
+             state[static_cast<std::size_t>(3 * i + 2)]};
+  }
+  return out;
+}
+
+double Topology::rmsd_to_truth(const linalg::Vector& state) const {
+  const auto pos = positions_from_state(state);
+  double sum = 0.0;
+  for (Index i = 0; i < size(); ++i) {
+    sum += (pos[static_cast<std::size_t>(i)] -
+            atoms_[static_cast<std::size_t>(i)].position)
+               .norm2();
+  }
+  return std::sqrt(sum / static_cast<double>(size()));
+}
+
+}  // namespace phmse::mol

@@ -1,0 +1,55 @@
+// Molecular topology: the atoms of a model and their reference positions.
+//
+// PHMSE works with "pseudo-atoms": for the helix problems every heavy atom
+// is modeled, while the 30S ribosome uses one pseudo-atom per residue or
+// protein, as the paper does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "molecule/geom.hpp"
+#include "support/types.hpp"
+
+namespace phmse::mol {
+
+/// One (pseudo-)atom with a human-readable label and its ground-truth
+/// position.  The ground truth generates noisy synthetic measurements and
+/// scores estimates; the estimator itself never sees it.
+struct Atom {
+  std::string label;
+  Vec3 position;
+};
+
+/// An ordered collection of atoms.  Atom order is significant: hierarchy
+/// nodes own contiguous atom ranges (see src/core/hierarchy.hpp).
+class Topology {
+ public:
+  Index size() const { return static_cast<Index>(atoms_.size()); }
+
+  Index add_atom(std::string label, const Vec3& position);
+
+  const Atom& atom(Index i) const {
+    PHMSE_ASSERT(i >= 0 && i < size());
+    return atoms_[static_cast<std::size_t>(i)];
+  }
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// Ground-truth state vector (x1,y1,z1,...,xp,yp,zp), dimension 3*size().
+  linalg::Vector true_state() const;
+
+  /// Positions decoded from a state vector of dimension 3*size().
+  std::vector<Vec3> positions_from_state(const linalg::Vector& state) const;
+
+  /// Root-mean-square deviation between a state vector and the ground
+  /// truth, without superposition (the estimation problem is anchored, so
+  /// direct RMSD is meaningful).
+  double rmsd_to_truth(const linalg::Vector& state) const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace phmse::mol

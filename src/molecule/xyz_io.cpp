@@ -1,0 +1,48 @@
+#include "molecule/xyz_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace phmse::mol {
+
+void write_xyz(std::ostream& os, const Topology& topology,
+               const linalg::Vector& state, const std::string& comment) {
+  const auto pos = topology.positions_from_state(state);
+  os << topology.size() << '\n' << comment << '\n';
+  for (Index i = 0; i < topology.size(); ++i) {
+    const Vec3& p = pos[static_cast<std::size_t>(i)];
+    os << topology.atom(i).label << ' ' << p.x << ' ' << p.y << ' ' << p.z
+       << '\n';
+  }
+}
+
+void write_xyz(std::ostream& os, const Topology& topology,
+               const std::string& comment) {
+  write_xyz(os, topology, topology.true_state(), comment);
+}
+
+Topology read_xyz(std::istream& is) {
+  Index count = 0;
+  is >> count;
+  PHMSE_CHECK(is.good() && count >= 0, "xyz: bad atom count");
+  std::string line;
+  std::getline(is, line);  // rest of count line
+  std::getline(is, line);  // comment
+  Topology topo;
+  for (Index i = 0; i < count; ++i) {
+    std::getline(is, line);
+    PHMSE_CHECK(static_cast<bool>(is), "xyz: truncated file");
+    std::istringstream ls(line);
+    std::string label;
+    Vec3 p;
+    ls >> label >> p.x >> p.y >> p.z;
+    PHMSE_CHECK(static_cast<bool>(ls), "xyz: malformed atom line");
+    topo.add_atom(label, p);
+  }
+  return topo;
+}
+
+}  // namespace phmse::mol

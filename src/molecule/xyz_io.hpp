@@ -1,0 +1,24 @@
+// Minimal XYZ-format I/O for inspecting models and estimates.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "molecule/topology.hpp"
+
+namespace phmse::mol {
+
+/// Writes `topology` (at the positions encoded in `state`) as XYZ text:
+/// first line atom count, second a comment, then "label x y z" lines.
+void write_xyz(std::ostream& os, const Topology& topology,
+               const linalg::Vector& state, const std::string& comment);
+
+/// Convenience overload writing the topology's ground-truth positions.
+void write_xyz(std::ostream& os, const Topology& topology,
+               const std::string& comment);
+
+/// Reads an XYZ stream back into a fresh topology (labels + positions).
+Topology read_xyz(std::istream& is);
+
+}  // namespace phmse::mol

@@ -1,0 +1,23 @@
+#include "parallel/exec.hpp"
+
+#include "support/stopwatch.hpp"
+
+namespace phmse::par {
+
+void SerialContext::parallel(perf::Category cat, Index n, const CostFn& cost,
+                             const BodyFn& body) {
+  (void)cost;  // real contexts measure, they do not model
+  Stopwatch sw;
+  if (n > 0) body(0, n, 0);
+  profile_.add(cat, sw.seconds());
+}
+
+void SerialContext::sequential(perf::Category cat, const CostFn& cost,
+                               const std::function<void()>& body) {
+  (void)cost;
+  Stopwatch sw;
+  body();
+  profile_.add(cat, sw.seconds());
+}
+
+}  // namespace phmse::par

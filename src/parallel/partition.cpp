@@ -1,0 +1,73 @@
+#include "parallel/partition.hpp"
+
+#include "support/check.hpp"
+
+namespace phmse::par {
+
+Range even_chunk(Index n, int parts, int lane) {
+  PHMSE_CHECK(parts > 0, "partition needs at least one part");
+  PHMSE_CHECK(lane >= 0 && lane < parts, "lane out of range");
+  const Index base = n / parts;
+  const Index extra = n % parts;
+  const Index begin = lane * base + (lane < extra ? lane : extra);
+  const Index size = base + (lane < extra ? 1 : 0);
+  return Range{begin, begin + size};
+}
+
+std::vector<Range> split_evenly(Index n, int parts) {
+  PHMSE_CHECK(parts > 0, "partition needs at least one part");
+  std::vector<Range> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  for (int lane = 0; lane < parts; ++lane) {
+    out.push_back(even_chunk(n, parts, lane));
+  }
+  return out;
+}
+
+std::vector<Range> split_weighted(const std::vector<double>& weight,
+                                  int parts) {
+  PHMSE_CHECK(parts > 0, "partition needs at least one part");
+  const Index n = static_cast<Index>(weight.size());
+  double total = 0.0;
+  for (double w : weight) {
+    PHMSE_CHECK(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+
+  std::vector<Range> out(static_cast<std::size_t>(parts));
+  Index cursor = 0;
+  double consumed = 0.0;
+  for (int lane = 0; lane < parts; ++lane) {
+    const double target = total * (lane + 1) / parts;
+    Index end = cursor;
+    double acc = consumed;
+    // Advance while adding the next element keeps us at or below target, or
+    // while later lanes would otherwise run out of elements to take.
+    while (end < n) {
+      const Index remaining_lanes = parts - lane - 1;
+      const Index remaining_elems = n - end;
+      if (remaining_elems <= remaining_lanes) break;  // leave one per lane
+      const double next = acc + weight[static_cast<std::size_t>(end)];
+      // Take the element if doing so overshoots the target by less than
+      // stopping short of it.
+      if (acc >= target) break;
+      if (next - target > target - acc) {
+        // Overshoot: still take it if we are otherwise empty.
+        if (end == cursor) {
+          acc = next;
+          ++end;
+        }
+        break;
+      }
+      acc = next;
+      ++end;
+    }
+    if (lane == parts - 1) end = n;  // last lane absorbs the tail
+    out[static_cast<std::size_t>(lane)] = Range{cursor, end};
+    cursor = end;
+    consumed = acc;
+  }
+  return out;
+}
+
+}  // namespace phmse::par

@@ -1,0 +1,35 @@
+// Static partitioning of iteration ranges.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace phmse::par {
+
+/// A half-open index range [begin, end).
+struct Range {
+  Index begin = 0;
+  Index end = 0;
+
+  Index size() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+  bool operator==(const Range&) const = default;
+};
+
+/// Splits [0, n) into `parts` contiguous ranges whose sizes differ by at
+/// most one (the first `n % parts` ranges get the extra element).  Ranges
+/// may be empty when parts > n.
+std::vector<Range> split_evenly(Index n, int parts);
+
+/// The `lane`-th of `parts` even chunks of [0, n); equivalent to
+/// split_evenly(n, parts)[lane] without materializing the vector.
+Range even_chunk(Index n, int parts, int lane);
+
+/// Splits [0, n) into contiguous ranges so each range's summed weight is as
+/// close as possible to total/parts (greedy prefix cut).  `weight[i]` is the
+/// weight of element i; weights must be non-negative.
+std::vector<Range> split_weighted(const std::vector<double>& weight,
+                                  int parts);
+
+}  // namespace phmse::par

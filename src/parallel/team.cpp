@@ -1,0 +1,47 @@
+#include "parallel/team.hpp"
+
+#include "parallel/partition.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace phmse::par {
+
+TeamContext::TeamContext(ThreadPool& pool, int first_worker, int size)
+    : pool_(pool), first_(first_worker), size_(size) {
+  PHMSE_CHECK(size >= 1, "team needs at least one lane");
+  PHMSE_CHECK(first_worker >= 0 && first_worker + size <= pool.size(),
+              "team worker range exceeds pool");
+}
+
+void TeamContext::parallel(perf::Category cat, Index n, const CostFn& cost,
+                           const BodyFn& body) {
+  (void)cost;
+  Stopwatch sw;
+  if (size_ == 1 || n < size_) {
+    // Too little work to be worth a fork; run on the calling lane.
+    if (n > 0) body(0, n, 0);
+  } else {
+    Latch done(size_ - 1);
+    for (int lane = 1; lane < size_; ++lane) {
+      const Range r = even_chunk(n, size_, lane);
+      pool_.submit(first_ + lane, [&, r, lane] {
+        if (!r.empty()) body(r.begin, r.end, lane);
+        done.count_down();
+      });
+    }
+    const Range r0 = even_chunk(n, size_, 0);
+    if (!r0.empty()) body(r0.begin, r0.end, 0);
+    done.wait();
+  }
+  profile_.add(cat, sw.seconds());
+}
+
+void TeamContext::sequential(perf::Category cat, const CostFn& cost,
+                             const std::function<void()>& body) {
+  (void)cost;
+  Stopwatch sw;
+  body();
+  profile_.add(cat, sw.seconds());
+}
+
+}  // namespace phmse::par

@@ -1,0 +1,40 @@
+// TeamContext: fork-join execution on a contiguous range of pool workers.
+//
+// A team mirrors the paper's notion of "the processors assigned to a node"
+// of the structure hierarchy.  The calling thread acts as lane 0 (it is
+// typically the first worker of the range, dispatched there by the tree
+// executor); lanes 1..k-1 run on the remaining workers of the range.
+#pragma once
+
+#include "parallel/exec.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace phmse::par {
+
+/// Fork-join execution context over workers [first, first+size) of a pool.
+class TeamContext final : public ExecContext {
+ public:
+  /// The caller must ensure the worker range is not concurrently used by
+  /// another team (the tree executor guarantees disjointness).
+  TeamContext(ThreadPool& pool, int first_worker, int size);
+
+  int width() const override { return size_; }
+
+  void parallel(perf::Category cat, Index n, const CostFn& cost,
+                const BodyFn& body) override;
+
+  void sequential(perf::Category cat, const CostFn& cost,
+                  const std::function<void()>& body) override;
+
+  const perf::Profile& profile() const override { return profile_; }
+
+  int first_worker() const { return first_; }
+
+ private:
+  ThreadPool& pool_;
+  int first_;
+  int size_;
+  perf::Profile profile_;
+};
+
+}  // namespace phmse::par

@@ -1,0 +1,63 @@
+#include "parallel/thread_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace phmse::par {
+
+ThreadPool::ThreadPool(int workers) {
+  PHMSE_CHECK(workers >= 1, "pool needs at least one worker");
+  slots_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    slot->stop = true;
+    slot->cv.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(int worker, std::function<void()> task) {
+  PHMSE_CHECK(worker >= 0 && worker < size(), "worker id out of range");
+  Slot& slot = *slots_[static_cast<std::size_t>(worker)];
+  {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.queue.push_back(std::move(task));
+  }
+  slot.cv.notify_one();
+}
+
+void ThreadPool::worker_loop(int id) {
+  Slot& slot = *slots_[static_cast<std::size_t>(id)];
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(slot.mutex);
+      slot.cv.wait(lock, [&] { return slot.stop || !slot.queue.empty(); });
+      if (slot.queue.empty()) return;  // stop requested and drained
+      task = std::move(slot.queue.front());
+      slot.queue.pop_front();
+    }
+    task();
+  }
+}
+
+void Latch::count_down() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (--count_ == 0) cv_.notify_all();
+}
+
+void Latch::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return count_ <= 0; });
+}
+
+}  // namespace phmse::par

@@ -1,0 +1,64 @@
+// A thread pool with addressable workers.
+//
+// Unlike a generic task pool, PHMSE's scheduler assigns *specific* workers
+// to subtrees of the structure hierarchy (paper §4.3), so tasks are
+// submitted to a particular worker id.  Worker 0..P-1 mirror the paper's
+// processors 0..P-1.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phmse::par {
+
+/// Fixed-size pool whose workers are addressed by id.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads.  `workers` >= 1.
+  explicit ThreadPool(int workers);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  int size() const { return static_cast<int>(slots_.size()); }
+
+  /// Enqueues `task` for execution on worker `worker`.
+  void submit(int worker, std::function<void()> task);
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    bool stop = false;
+  };
+
+  void worker_loop(int id);
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::thread> threads_;
+};
+
+/// A completion latch: counts down to zero, wait() blocks until it does.
+class Latch {
+ public:
+  explicit Latch(int count) : count_(count) {}
+
+  void count_down();
+  void wait();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+}  // namespace phmse::par

@@ -1,0 +1,18 @@
+#include "perf/category.hpp"
+
+namespace phmse::perf {
+
+std::string_view category_name(Category c) {
+  switch (c) {
+    case Category::kDenseSparse: return "d-s";
+    case Category::kCholesky: return "chol";
+    case Category::kSystemSolve: return "sys";
+    case Category::kMatMat: return "m-m";
+    case Category::kMatVec: return "m-v";
+    case Category::kVector: return "vec";
+    case Category::kOther: return "other";
+  }
+  return "?";
+}
+
+}  // namespace phmse::perf

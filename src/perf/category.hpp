@@ -1,0 +1,42 @@
+// Operation categories used in the paper's time-distribution tables.
+//
+// The paper (Tables 3-6) breaks execution time into six categories of array
+// operations that account for almost all of the run time:
+//   d-s  : dense-sparse matrix multiplications (C*H^T and H*(C*H^T))
+//   chol : Cholesky factorization of the innovation covariance
+//   sys  : triangular system solves for the filter gain
+//   m-m  : dense matrix multiplications (covariance update)
+//   m-v  : dense matrix-vector multiplications (state update)
+//   vec  : vector operations (residuals, axpy, copies)
+// `other` collects everything else (constraint evaluation, bookkeeping).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace phmse::perf {
+
+enum class Category : int {
+  kDenseSparse = 0,
+  kCholesky,
+  kSystemSolve,
+  kMatMat,
+  kMatVec,
+  kVector,
+  kOther,
+};
+
+inline constexpr std::size_t kNumCategories = 7;
+
+/// Short labels matching the column headers of the paper's tables.
+std::string_view category_name(Category c);
+
+/// All categories in table-column order.
+constexpr std::array<Category, kNumCategories> all_categories() {
+  return {Category::kDenseSparse, Category::kCholesky, Category::kSystemSolve,
+          Category::kMatMat,      Category::kMatVec,   Category::kVector,
+          Category::kOther};
+}
+
+}  // namespace phmse::perf

@@ -1,0 +1,38 @@
+#include "perf/profile.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace phmse::perf {
+
+double Profile::total() const {
+  double sum = 0.0;
+  for (double t : times_) sum += t;
+  return sum;
+}
+
+Profile& Profile::operator+=(const Profile& other) {
+  for (std::size_t i = 0; i < kNumCategories; ++i) times_[i] += other.times_[i];
+  return *this;
+}
+
+void Profile::max_with(const Profile& other) {
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    times_[i] = std::max(times_[i], other.times_[i]);
+  }
+}
+
+std::string Profile::summary(int precision) const {
+  std::ostringstream os;
+  bool first = true;
+  for (Category c : all_categories()) {
+    if (!first) os << ' ';
+    first = false;
+    os << category_name(c) << '=' << format_fixed(time(c), precision);
+  }
+  return os.str();
+}
+
+}  // namespace phmse::perf

@@ -1,0 +1,46 @@
+// Per-category time accumulation.
+//
+// A Profile records how much time (real seconds on the host, or virtual
+// seconds on a simulated machine) was spent in each operation category.
+// This reproduces the breakdown columns of the paper's Tables 3-6.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "perf/category.hpp"
+
+namespace phmse::perf {
+
+/// Accumulated time per operation category.  Addable so per-worker or
+/// per-node profiles can be merged.
+class Profile {
+ public:
+  Profile() { times_.fill(0.0); }
+
+  void add(Category c, double seconds) {
+    times_[static_cast<std::size_t>(c)] += seconds;
+  }
+
+  double time(Category c) const {
+    return times_[static_cast<std::size_t>(c)];
+  }
+
+  /// Sum across all categories (including `other`).
+  double total() const;
+
+  Profile& operator+=(const Profile& other);
+
+  /// Element-wise max; used to report the critical-path view of a team.
+  void max_with(const Profile& other);
+
+  void clear() { times_.fill(0.0); }
+
+  /// One-line summary "d-s=... chol=... ..." for logs.
+  std::string summary(int precision = 3) const;
+
+ private:
+  std::array<double, kNumCategories> times_;
+};
+
+}  // namespace phmse::perf

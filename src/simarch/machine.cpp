@@ -1,0 +1,99 @@
+#include "simarch/machine.hpp"
+
+#include "support/check.hpp"
+
+namespace phmse::simarch {
+
+MachineConfig dash32() {
+  MachineConfig cfg;
+  cfg.name = "dash32";
+  cfg.processors = 32;
+  cfg.procs_per_cluster = 4;
+  cfg.layout = MemoryLayout::kDistributed;
+  cfg.flops_per_sec = 8.0e6;   // sustained R3000/33MHz with R3010 FPU
+  cfg.line_bytes = 32.0;
+  cfg.t_miss_local = 0.9e-6;   // ~30 cycles at 33 MHz
+  cfg.t_miss_remote = 3.2e-6;  // ~100+ cycles through the directory
+  cfg.bus_contention = 0.0;
+  cfg.barrier_base = 5.0e-6;
+  cfg.barrier_per_proc = 3.0e-6;
+  cfg.stream_miss_fraction = 1.0;
+  // Capacity effects are off in the preset: the kernel annotations already
+  // charge ideally-blocked traffic, which is what the paper's tiled code
+  // achieves.  bench/ablation_machine turns this on to study the effect.
+  cfg.cache_bytes_per_proc = 0.0;
+  return cfg;
+}
+
+MachineConfig challenge16() {
+  MachineConfig cfg;
+  cfg.name = "challenge16";
+  cfg.processors = 16;
+  cfg.procs_per_cluster = 16;  // one bus-based SMP
+  cfg.layout = MemoryLayout::kCentralized;
+  cfg.flops_per_sec = 2.5e7;   // sustained R4400/100MHz
+  cfg.line_bytes = 128.0;      // R4400 secondary cache line
+  cfg.t_miss_local = 1.0e-6;
+  cfg.t_miss_remote = 1.0e-6;  // central memory: one latency class
+  cfg.bus_contention = 0.012;  // mild; the paper's 1.2 GB/s bus is generous
+  cfg.barrier_base = 2.0e-6;
+  cfg.barrier_per_proc = 1.0e-6;
+  cfg.stream_miss_fraction = 1.0;
+  return cfg;
+}
+
+MachineConfig generic(int processors) {
+  MachineConfig cfg;
+  cfg.name = "generic";
+  cfg.processors = processors;
+  cfg.procs_per_cluster = 4;
+  cfg.layout = MemoryLayout::kDistributed;
+  return cfg;
+}
+
+double chunk_time(const MachineConfig& cfg, const par::KernelStats& stats,
+                  int team_clusters, int active_processors) {
+  PHMSE_CHECK(team_clusters >= 1, "team must span at least one cluster");
+  const double compute = stats.flops / cfg.flops_per_sec;
+
+  double miss_cost;
+  if (cfg.layout == MemoryLayout::kDistributed) {
+    // Node data is distributed round-robin across the team's clusters, so
+    // the chance a line is local is 1/team_clusters.
+    const double remote_fraction = 1.0 - 1.0 / team_clusters;
+    miss_cost = cfg.t_miss_local +
+                remote_fraction * (cfg.t_miss_remote - cfg.t_miss_local);
+  } else {
+    miss_cost = cfg.t_miss_remote *
+                (1.0 + cfg.bus_contention * (active_processors - 1));
+  }
+
+  double bytes = stats.bytes_stream * cfg.stream_miss_fraction +
+                 stats.bytes_irregular;
+  if (cfg.cache_bytes_per_proc > 0.0 &&
+      stats.resident_bytes > cfg.cache_bytes_per_proc &&
+      stats.resident_sweeps > 1.0) {
+    // The resident tile overflows the cache: each extra sweep re-fetches
+    // the overflowing fraction from memory.
+    const double overflow =
+        1.0 - cfg.cache_bytes_per_proc / stats.resident_bytes;
+    bytes += (stats.resident_sweeps - 1.0) * stats.resident_bytes * overflow;
+  }
+  const double lines = bytes / cfg.line_bytes;
+  return compute + lines * miss_cost;
+}
+
+double barrier_time(const MachineConfig& cfg, int team_size) {
+  if (team_size <= 1) return 0.0;
+  return cfg.barrier_base + cfg.barrier_per_proc * team_size;
+}
+
+int clusters_spanned(const MachineConfig& cfg, int first, int size) {
+  PHMSE_CHECK(first >= 0 && size >= 1 && first + size <= cfg.processors,
+              "processor range out of machine bounds");
+  const int first_cluster = first / cfg.procs_per_cluster;
+  const int last_cluster = (first + size - 1) / cfg.procs_per_cluster;
+  return last_cluster - first_cluster + 1;
+}
+
+}  // namespace phmse::simarch

@@ -1,0 +1,94 @@
+// Machine model for the simulated cache-coherent shared-memory
+// multiprocessor.
+//
+// The paper evaluates on the Stanford DASH (32x 33 MHz MIPS R3000, 8
+// clusters of 4 connected by a mesh, distributed directory-based cache
+// coherence) and an SGI Challenge (16x 100 MHz MIPS R4400 on a central
+// bus).  This host has a single core, so we reproduce the parallel study
+// with an execution-driven simulation: the numerics actually run, and a
+// cost model charges each virtual processor for the flops and memory
+// traffic of its share of every kernel (see DESIGN.md, substitutions).
+//
+// The cost model is deliberately simple and captures the effects the paper
+// analyses:
+//   * flop cost         — sustained scalar FP rate of the era's CPUs;
+//   * cache-miss cost   — all annotated traffic is charged at cache-line
+//     granularity; on a distributed-memory machine (DASH) the per-line cost
+//     interpolates between local and remote latency with the number of
+//     clusters a team spans (node data is placed round-robin across the
+//     team's clusters, as the paper describes); on a centralized machine
+//     (Challenge) every miss pays the bus latency plus a contention term;
+//   * barrier cost      — teams synchronize after every kernel; the cost
+//     grows with team size, which is what floors the tiny vector kernels at
+//     high processor counts.
+#pragma once
+
+#include <string>
+
+#include "parallel/exec.hpp"
+
+namespace phmse::simarch {
+
+/// Whether main memory is physically distributed (DASH) or central (bus).
+enum class MemoryLayout { kDistributed, kCentralized };
+
+/// Parameters of a simulated machine.
+struct MachineConfig {
+  std::string name;
+  /// Total processors.
+  int processors = 1;
+  /// Processors per cluster (1 cluster == bus-based SMP).
+  int procs_per_cluster = 4;
+  MemoryLayout layout = MemoryLayout::kDistributed;
+
+  /// Sustained scalar floating-point rate (flop/s).
+  double flops_per_sec = 8.0e6;
+  /// Cache line size in bytes.
+  double line_bytes = 32.0;
+  /// Latency of a miss satisfied in local / cluster memory (seconds).
+  double t_miss_local = 1.0e-6;
+  /// Latency of a miss satisfied in a remote cluster (seconds);
+  /// for centralized machines this equals the bus miss latency.
+  double t_miss_remote = 3.2e-6;
+  /// Fractional slowdown of every miss per additional active processor on a
+  /// centralized bus (contention).  Zero for distributed machines.
+  double bus_contention = 0.0;
+  /// Cost of a barrier among g processors: base + per_proc * g (seconds).
+  double barrier_base = 4.0e-6;
+  double barrier_per_proc = 2.5e-6;
+
+  /// Fraction of streamed traffic that actually misses (blocked kernels
+  /// reuse lines; irregular traffic always misses).
+  double stream_miss_fraction = 1.0;
+
+  /// Modeled per-processor cache capacity in bytes; 0 disables capacity
+  /// effects.  When a kernel's resident working set (KernelStats::
+  /// resident_bytes) overflows this, the overflowing fraction is
+  /// re-fetched on every extra sweep instead of hitting in cache.
+  double cache_bytes_per_proc = 0.0;
+};
+
+/// Preset matching the Stanford DASH used in the paper (32x R3000/33MHz,
+/// 8 clusters of 4, distributed directory-based coherence).
+MachineConfig dash32();
+
+/// Preset matching the SGI Challenge used in the paper (16x R4400/100MHz,
+/// central memory on a 1.2 GB/s bus).
+MachineConfig challenge16();
+
+/// A generic modern-host-like preset, useful for tests.
+MachineConfig generic(int processors);
+
+/// Time for one lane to execute a chunk with the given stats when its team
+/// spans `team_clusters` clusters and `active_processors` are busy
+/// machine-wide.
+double chunk_time(const MachineConfig& cfg, const par::KernelStats& stats,
+                  int team_clusters, int active_processors);
+
+/// Barrier cost among `team_size` processors (0 when team_size == 1).
+double barrier_time(const MachineConfig& cfg, int team_size);
+
+/// Number of clusters spanned by processors [first, first+size).
+int clusters_spanned(const MachineConfig& cfg, int first, int size);
+
+}  // namespace phmse::simarch

@@ -1,0 +1,109 @@
+#include "simarch/sim_context.hpp"
+
+#include <algorithm>
+
+#include "parallel/partition.hpp"
+#include "support/check.hpp"
+
+namespace phmse::simarch {
+
+SimMachine::SimMachine(MachineConfig config) : config_(std::move(config)) {
+  PHMSE_CHECK(config_.processors >= 1, "machine needs at least one processor");
+  clock_.assign(static_cast<std::size_t>(config_.processors), 0.0);
+  profile_.assign(static_cast<std::size_t>(config_.processors),
+                  perf::Profile{});
+}
+
+double SimMachine::clock(int proc) const {
+  PHMSE_CHECK(proc >= 0 && proc < processors(), "processor id out of range");
+  return clock_[static_cast<std::size_t>(proc)];
+}
+
+void SimMachine::set_clock(int proc, double t) {
+  PHMSE_CHECK(proc >= 0 && proc < processors(), "processor id out of range");
+  clock_[static_cast<std::size_t>(proc)] = t;
+}
+
+perf::Profile& SimMachine::proc_profile(int proc) {
+  PHMSE_CHECK(proc >= 0 && proc < processors(), "processor id out of range");
+  return profile_[static_cast<std::size_t>(proc)];
+}
+
+const perf::Profile& SimMachine::proc_profile(int proc) const {
+  PHMSE_CHECK(proc >= 0 && proc < processors(), "processor id out of range");
+  return profile_[static_cast<std::size_t>(proc)];
+}
+
+double SimMachine::max_clock(int first, int size) const {
+  PHMSE_CHECK(first >= 0 && size >= 1 && first + size <= processors(),
+              "processor range out of machine bounds");
+  double m = 0.0;
+  for (int p = first; p < first + size; ++p) {
+    m = std::max(m, clock_[static_cast<std::size_t>(p)]);
+  }
+  return m;
+}
+
+double SimMachine::sync_range(int first, int size) {
+  const double m = max_clock(first, size);
+  for (int p = first; p < first + size; ++p) {
+    clock_[static_cast<std::size_t>(p)] = m;
+  }
+  return m;
+}
+
+perf::Profile SimMachine::reported_profile() const {
+  perf::Profile out;
+  for (const auto& p : profile_) out.max_with(p);
+  return out;
+}
+
+void SimMachine::reset() {
+  std::fill(clock_.begin(), clock_.end(), 0.0);
+  for (auto& p : profile_) p.clear();
+}
+
+SimContext::SimContext(SimMachine& machine, int first_proc, int size)
+    : machine_(machine), first_(first_proc), size_(size) {
+  PHMSE_CHECK(size >= 1, "team needs at least one processor");
+  PHMSE_CHECK(first_proc >= 0 && first_proc + size <= machine.processors(),
+              "team range out of machine bounds");
+  team_clusters_ = clusters_spanned(machine.config(), first_, size_);
+}
+
+void SimContext::charge_all(perf::Category cat, double dt) {
+  for (int p = first_; p < first_ + size_; ++p) {
+    machine_.set_clock(p, machine_.clock(p) + dt);
+    machine_.proc_profile(p).add(cat, dt);
+  }
+}
+
+void SimContext::parallel(perf::Category cat, Index n, const par::CostFn& cost,
+                          const par::BodyFn& body) {
+  const auto& cfg = machine_.config();
+  double max_dt = 0.0;
+  for (int lane = 0; lane < size_; ++lane) {
+    const par::Range r = par::even_chunk(n, size_, lane);
+    if (r.empty()) continue;
+    const par::KernelStats stats = cost(r.begin, r.end);
+    max_dt = std::max(
+        max_dt, chunk_time(cfg, stats, team_clusters_, cfg.processors));
+    body(r.begin, r.end, lane);
+  }
+  charge_all(cat, max_dt + barrier_time(cfg, size_));
+}
+
+void SimContext::sequential(perf::Category cat, const par::CostFn& cost,
+                            const std::function<void()>& body) {
+  const auto& cfg = machine_.config();
+  const par::KernelStats stats = cost(0, 1);
+  const double dt = chunk_time(cfg, stats, team_clusters_, cfg.processors);
+  body();
+  charge_all(cat, dt + barrier_time(cfg, size_));
+}
+
+const perf::Profile& SimContext::profile() const {
+  return machine_.proc_profile(first_);
+}
+
+}  // namespace phmse::simarch

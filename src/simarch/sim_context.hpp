@@ -1,0 +1,91 @@
+// Execution-driven simulation of a team of virtual processors.
+//
+// A SimMachine holds the virtual clock and per-category profile of every
+// virtual processor.  A SimContext is an ExecContext view over a contiguous
+// range of those processors (the team assigned to one hierarchy node).  The
+// kernels' numerics actually execute (sequentially, on the host); virtual
+// time is charged from the cost model in machine.hpp.
+//
+// Accounting convention: a team executes SPMD code with a barrier after
+// every kernel, so after each region every team member's clock has advanced
+// by the same amount — the slowest lane's chunk time plus the barrier cost.
+// That amount is charged to the kernel's category on every member.  A
+// processor's clock therefore equals the critical path through the sequence
+// of nodes it participates in, and the run time of a program is the maximum
+// clock over all processors.
+#pragma once
+
+#include <vector>
+
+#include "parallel/exec.hpp"
+#include "simarch/machine.hpp"
+
+namespace phmse::simarch {
+
+/// Virtual clocks and profiles for every processor of a simulated machine.
+class SimMachine {
+ public:
+  explicit SimMachine(MachineConfig config);
+
+  const MachineConfig& config() const { return config_; }
+  int processors() const { return config_.processors; }
+
+  double clock(int proc) const;
+  void set_clock(int proc, double t);
+
+  perf::Profile& proc_profile(int proc);
+  const perf::Profile& proc_profile(int proc) const;
+
+  /// Maximum clock over [first, first+size).
+  double max_clock(int first, int size) const;
+
+  /// Sets every clock in [first, first+size) to the range's max; returns it.
+  /// Used when a team forms at a node after its children complete.
+  double sync_range(int first, int size);
+
+  /// Run time so far: maximum clock over all processors.
+  double elapsed() const { return max_clock(0, processors()); }
+
+  /// Per-category times as reported in the paper's tables: for each
+  /// category, the maximum accumulated time over all processors.
+  perf::Profile reported_profile() const;
+
+  void reset();
+
+ private:
+  MachineConfig config_;
+  std::vector<double> clock_;
+  std::vector<perf::Profile> profile_;
+};
+
+/// ExecContext charging virtual time to processors [first, first+size) of a
+/// SimMachine.
+class SimContext final : public par::ExecContext {
+ public:
+  SimContext(SimMachine& machine, int first_proc, int size);
+
+  int width() const override { return size_; }
+
+  void parallel(perf::Category cat, Index n, const par::CostFn& cost,
+                const par::BodyFn& body) override;
+
+  void sequential(perf::Category cat, const par::CostFn& cost,
+                  const std::function<void()>& body) override;
+
+  /// Critical-path profile of this context's team (every member advanced
+  /// identically; this is lane 0's view).
+  const perf::Profile& profile() const override;
+
+  int first_proc() const { return first_; }
+
+ private:
+  /// Advances every team member by `dt` seconds in category `cat`.
+  void charge_all(perf::Category cat, double dt);
+
+  SimMachine& machine_;
+  int first_;
+  int size_;
+  int team_clusters_;
+};
+
+}  // namespace phmse::simarch

@@ -1,0 +1,15 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace phmse::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "PHMSE_CHECK failed: (" << expr << ") at " << file << ":" << line
+     << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace phmse::detail

@@ -1,0 +1,39 @@
+// Error-handling primitives used across the library.
+//
+// PHMSE follows the Core Guidelines convention of checking preconditions at
+// API boundaries.  PHMSE_CHECK is always on (it guards user-visible
+// contracts); PHMSE_ASSERT compiles out in release builds and guards
+// internal invariants on hot paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace phmse {
+
+/// Exception thrown on violated API preconditions or numerical failures
+/// (e.g. a measurement covariance that is not positive definite).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace phmse
+
+#define PHMSE_CHECK(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::phmse::detail::check_failed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define PHMSE_ASSERT(expr) ((void)0)
+#else
+#define PHMSE_ASSERT(expr) PHMSE_CHECK(expr, "internal invariant violated")
+#endif

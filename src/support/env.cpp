@@ -1,0 +1,39 @@
+#include "support/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace phmse {
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+long env_long(const std::string& name, long fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != v && end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != v && end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+bool env_flag(const std::string& name, bool fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return fallback;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+}  // namespace phmse

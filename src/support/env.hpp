@@ -1,0 +1,23 @@
+// Environment-variable configuration helpers.
+//
+// Benchmarks accept scale knobs (e.g. PHMSE_BENCH_SCALE) so the full paper
+// reproduction and a quick smoke run share one binary.
+#pragma once
+
+#include <string>
+
+namespace phmse {
+
+/// Returns the value of environment variable `name`, or `fallback` if unset.
+std::string env_string(const std::string& name, const std::string& fallback);
+
+/// Returns `name` parsed as a long, or `fallback` if unset/unparsable.
+long env_long(const std::string& name, long fallback);
+
+/// Returns `name` parsed as a double, or `fallback` if unset/unparsable.
+double env_double(const std::string& name, double fallback);
+
+/// Returns true when `name` is set to a truthy value (1/true/yes/on).
+bool env_flag(const std::string& name, bool fallback = false);
+
+}  // namespace phmse

@@ -1,0 +1,4 @@
+#include "support/rng.hpp"
+
+// Header-only today; the translation unit pins the library's symbols and
+// keeps a stable home for future out-of-line distribution code.

@@ -1,0 +1,3 @@
+#include "support/stopwatch.hpp"
+
+// Header-only; see stopwatch.hpp.

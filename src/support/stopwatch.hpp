@@ -1,0 +1,24 @@
+// Wall-clock stopwatch for real (host) timing.
+#pragma once
+
+#include <chrono>
+
+namespace phmse {
+
+/// Monotonic wall-clock stopwatch; `seconds()` reads without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace phmse

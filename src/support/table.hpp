@@ -1,0 +1,42 @@
+// Plain-text table formatting for benchmark output.
+//
+// The benchmark harnesses print rows in the same layout as the paper's
+// Tables 1-6 so the reproduction can be compared side by side with the
+// published numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace phmse {
+
+/// Column-aligned text table builder.
+///
+/// Usage:
+///   Table t({"NP", "time", "spdup"});
+///   t.add_row({"1", "483.22", "1.00"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats every cell with fixed precision.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 5);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table with a header rule, right-aligned numeric columns.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `precision` digits after the decimal point.
+std::string format_fixed(double v, int precision);
+
+}  // namespace phmse

@@ -1,0 +1,11 @@
+// Common index type.
+#pragma once
+
+#include <cstddef>
+
+namespace phmse {
+
+/// Signed index type used for matrix dimensions and iteration spaces.
+using Index = std::ptrdiff_t;
+
+}  // namespace phmse

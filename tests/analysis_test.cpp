@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "constraints/set.hpp"
+#include "estimation/analysis.hpp"
+#include "estimation/update.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::est {
+namespace {
+
+using Mat3 = std::array<std::array<double, 3>, 3>;
+
+TEST(Eigen3x3, DiagonalMatrix) {
+  Mat3 m{{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}}};
+  std::array<double, 3> values;
+  std::array<mol::Vec3, 3> vectors;
+  eigen_symmetric_3x3(m, values, vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-12);
+  EXPECT_NEAR(values[1], 2.0, 1e-12);
+  EXPECT_NEAR(values[2], 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(vectors[0].x), 1.0, 1e-9);
+  EXPECT_NEAR(std::abs(vectors[1].z), 1.0, 1e-9);
+}
+
+TEST(Eigen3x3, ReconstructsMatrix) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random symmetric PSD: B B^T.
+    double b[3][3];
+    for (auto& row : b) {
+      for (double& v : row) v = rng.gaussian();
+    }
+    Mat3 m{};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        for (int k = 0; k < 3; ++k) {
+          m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+              b[i][k] * b[j][k];
+        }
+      }
+    }
+    std::array<double, 3> values;
+    std::array<mol::Vec3, 3> vectors;
+    eigen_symmetric_3x3(m, values, vectors);
+
+    // Eigenvalues descending and non-negative.
+    EXPECT_GE(values[0], values[1]);
+    EXPECT_GE(values[1], values[2]);
+    EXPECT_GE(values[2], -1e-10);
+
+    // M v = lambda v for each pair; vectors orthonormal.
+    for (int e = 0; e < 3; ++e) {
+      const mol::Vec3& v = vectors[static_cast<std::size_t>(e)];
+      EXPECT_NEAR(v.norm(), 1.0, 1e-9);
+      const mol::Vec3 mv{
+          m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+          m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+          m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+      EXPECT_NEAR(mv.x, values[static_cast<std::size_t>(e)] * v.x, 1e-8);
+      EXPECT_NEAR(mv.y, values[static_cast<std::size_t>(e)] * v.y, 1e-8);
+      EXPECT_NEAR(mv.z, values[static_cast<std::size_t>(e)] * v.z, 1e-8);
+    }
+    EXPECT_NEAR(vectors[0].dot(vectors[1]), 0.0, 1e-9);
+    EXPECT_NEAR(vectors[0].dot(vectors[2]), 0.0, 1e-9);
+  }
+}
+
+NodeState anchored_two_atom_state() {
+  NodeState st;
+  st.atom_begin = 0;
+  st.atom_end = 2;
+  st.x = {0, 0, 0, 2, 0, 0};
+  st.reset_covariance(1.0);
+
+  // Tighten atom 0 with three positional observations.
+  par::SerialContext ctx;
+  BatchUpdater up;
+  for (int axis = 0; axis < 3; ++axis) {
+    cons::Constraint c;
+    c.kind = cons::Kind::kPosition;
+    c.atoms = {0, 0, 0, 0};
+    c.axis = axis;
+    c.observed = 0.0;
+    c.variance = 0.01;
+    up.apply(ctx, st, std::span<const cons::Constraint>(&c, 1));
+  }
+  return st;
+}
+
+TEST(Analysis, MarginalCovarianceExtractsBlock) {
+  const NodeState st = anchored_two_atom_state();
+  const auto m0 = marginal_covariance(st, 0);
+  const auto m1 = marginal_covariance(st, 1);
+  // Atom 0 tightened, atom 1 still at the prior.
+  EXPECT_LT(m0[0][0], 0.02);
+  EXPECT_NEAR(m1[0][0], 1.0, 1e-12);
+}
+
+TEST(Analysis, RmsAndRanking) {
+  const NodeState st = anchored_two_atom_state();
+  const auto u0 = atom_uncertainty(st, 0);
+  const auto u1 = atom_uncertainty(st, 1);
+  EXPECT_LT(u0.rms(), u1.rms());
+
+  const auto worst = worst_determined(st, 1);
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_EQ(worst[0].atom, 1);
+  const auto best = best_determined(st, 1);
+  EXPECT_EQ(best[0].atom, 0);
+}
+
+TEST(Analysis, SphericalPriorIsIsotropic) {
+  NodeState st;
+  st.atom_begin = 0;
+  st.atom_end = 1;
+  st.x = {0, 0, 0};
+  st.reset_covariance(2.0);
+  const auto u = atom_uncertainty(st, 0);
+  EXPECT_NEAR(u.anisotropy(), 1.0, 1e-9);
+  EXPECT_NEAR(u.rms(), 2.0, 1e-9);
+}
+
+TEST(Analysis, CorrelationAfterSharedConstraint) {
+  NodeState st;
+  st.atom_begin = 0;
+  st.atom_end = 2;
+  st.x = {0, 0, 0, 1, 0, 0};
+  st.reset_covariance(1.0);
+  EXPECT_DOUBLE_EQ(coordinate_correlation(st, 0, 0, 1, 0), 0.0);
+
+  par::SerialContext ctx;
+  BatchUpdater up;
+  cons::Constraint c;
+  c.kind = cons::Kind::kDistance;
+  c.atoms = {0, 1, 0, 0};
+  c.observed = 1.0;
+  c.variance = 0.01;
+  up.apply(ctx, st, std::span<const cons::Constraint>(&c, 1));
+
+  const double corr = coordinate_correlation(st, 0, 0, 1, 0);
+  EXPECT_GT(corr, 0.5);  // x-coordinates strongly coupled by the distance
+  EXPECT_LE(corr, 1.0 + 1e-12);
+  // A constraint along x does not couple the y coordinates.
+  EXPECT_NEAR(coordinate_correlation(st, 0, 1, 1, 1), 0.0, 1e-9);
+}
+
+TEST(Analysis, ReportMentionsLabels) {
+  mol::Topology topo;
+  topo.add_atom("anchored", {0, 0, 0});
+  topo.add_atom("floppy", {2, 0, 0});
+  const NodeState st = anchored_two_atom_state();
+  const std::string report = uncertainty_report(st, topo, 1);
+  EXPECT_NE(report.find("floppy"), std::string::npos);
+  EXPECT_NE(report.find("anchored"), std::string::npos);
+  EXPECT_NE(report.find("worst determined"), std::string::npos);
+}
+
+TEST(Analysis, AnisotropyDetectsDirectionalData) {
+  // Constrain only the x coordinate of an atom: its uncertainty ellipsoid
+  // must be strongly anisotropic with the tight axis along x.
+  NodeState st;
+  st.atom_begin = 0;
+  st.atom_end = 1;
+  st.x = {0, 0, 0};
+  st.reset_covariance(1.0);
+  par::SerialContext ctx;
+  BatchUpdater up;
+  cons::Constraint c;
+  c.kind = cons::Kind::kPosition;
+  c.atoms = {0, 0, 0, 0};
+  c.axis = 0;
+  c.observed = 0.0;
+  c.variance = 1e-4;
+  up.apply(ctx, st, std::span<const cons::Constraint>(&c, 1));
+
+  const auto u = atom_uncertainty(st, 0);
+  EXPECT_GT(u.anisotropy(), 100.0);
+  // The *smallest* axis (index 2) is x.
+  EXPECT_NEAR(std::abs(u.axes[2].x), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace phmse::est

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "constraints/helix_gen.hpp"
+#include "constraints/ribo_gen.hpp"
+#include "core/assign.hpp"
+#include "molecule/ribo30s.hpp"
+#include "molecule/rna_helix.hpp"
+#include "support/check.hpp"
+
+namespace phmse::core {
+namespace {
+
+TEST(Assign, EveryConstraintLandsExactlyOnce) {
+  const mol::HelixModel model = mol::build_helix(4);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Hierarchy h = build_helix_hierarchy(model);
+  const AssignStats stats = assign_constraints(h, set);
+  EXPECT_EQ(stats.total, set.size());
+  EXPECT_EQ(h.total_constraints(), set.size());
+}
+
+TEST(Assign, ConstraintsFitTheirNode) {
+  const mol::HelixModel model = mol::build_helix(4);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Hierarchy h = build_helix_hierarchy(model);
+  assign_constraints(h, set);
+  h.for_each_post_order([](const HierNode& node) {
+    if (node.constraints.empty()) return;
+    const auto [lo, hi] = node.constraints.atom_span();
+    EXPECT_GE(lo, node.atom_begin);
+    EXPECT_LT(hi, node.atom_end);
+  });
+}
+
+TEST(Assign, ConstraintsAreAtLowestContainingNode) {
+  const mol::HelixModel model = mol::build_helix(2);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Hierarchy h = build_helix_hierarchy(model);
+  assign_constraints(h, set);
+  // No constraint on an interior node may fit inside one of its children.
+  h.for_each_post_order([](const HierNode& node) {
+    for (const cons::Constraint& c : node.constraints.all()) {
+      Index lo = c.atoms[0];
+      Index hi = lo;
+      for (Index k = 0; k < cons::arity(c.kind); ++k) {
+        lo = std::min(lo, c.atoms[static_cast<std::size_t>(k)]);
+        hi = std::max(hi, c.atoms[static_cast<std::size_t>(k)]);
+      }
+      for (const auto& child : node.children) {
+        EXPECT_FALSE(lo >= child->atom_begin && hi < child->atom_end)
+            << "constraint should have been pushed into " << child->name;
+      }
+    }
+  });
+}
+
+TEST(Assign, HelixCategoriesLandAtTheirFig2Levels) {
+  const mol::HelixModel model = mol::build_helix(4);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Hierarchy h = build_helix_hierarchy(model);
+  assign_constraints(h, set);
+  h.for_each_post_order([](const HierNode& node) {
+    for (const cons::Constraint& c : node.constraints.all()) {
+      if (c.category == 1 || c.category == 2) {
+        // Backbone/sidechain-internal distances must reach leaves.
+        EXPECT_TRUE(node.is_leaf()) << node.name;
+      } else if (c.category == 3) {
+        // Base level: node named .../base1 or .../base2 (two leaf children).
+        EXPECT_EQ(node.children.size(), 2u);
+        EXPECT_TRUE(node.children[0]->is_leaf());
+      }
+    }
+  });
+}
+
+TEST(Assign, MostHelixConstraintsAreLocalized) {
+  // The "optimistic scenario" of Section 3.1: most observations live deep
+  // in the tree, not at the root.
+  const mol::HelixModel model = mol::build_helix(8);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Hierarchy h = build_helix_hierarchy(model);
+  const AssignStats stats = assign_constraints(h, set);
+  // Categories 1-2 (~1/3 of the set) land on leaves; 3 and 4 land on base
+  // and pair nodes (the bottom three levels).  Only the widest junction
+  // constraints climb higher, and very few reach the root.
+  EXPECT_GT(stats.on_leaves, set.size() / 5);
+  const Index bottom_three = stats.per_level[stats.per_level.size() - 1] +
+                             stats.per_level[stats.per_level.size() - 2] +
+                             stats.per_level[stats.per_level.size() - 3];
+  EXPECT_GT(bottom_three, (3 * set.size()) / 4);
+  EXPECT_LT(stats.per_level[0], set.size() / 10);  // few at the root
+}
+
+TEST(Assign, FlatHierarchyTakesEverythingAtRoot) {
+  const mol::HelixModel model = mol::build_helix(2);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Hierarchy h = build_flat_hierarchy(model.num_atoms());
+  const AssignStats stats = assign_constraints(h, set);
+  EXPECT_EQ(stats.per_level[0], set.size());
+  EXPECT_EQ(h.root().constraints.size(), set.size());
+}
+
+TEST(Assign, RiboConstraintsMostlyInsideDomains) {
+  const mol::Ribo30sModel model = mol::build_ribo30s();
+  const cons::ConstraintSet set = cons::generate_ribo_constraints(model);
+  Hierarchy h = build_ribo_hierarchy(model);
+  const AssignStats stats = assign_constraints(h, set);
+  EXPECT_EQ(stats.total, set.size());
+  // Intra-segment constraints (the majority) land on segment leaves.
+  EXPECT_GT(stats.on_leaves, set.size() / 3);
+}
+
+TEST(Assign, OutOfRangeConstraintThrows) {
+  Hierarchy h = build_flat_hierarchy(4);
+  cons::ConstraintSet set;
+  cons::Constraint c;
+  c.kind = cons::Kind::kDistance;
+  c.atoms = {0, 9, 0, 0};
+  set.add(c);
+  EXPECT_THROW(assign_constraints(h, set), phmse::Error);
+}
+
+TEST(Assign, ClearRemovesEverything) {
+  const mol::HelixModel model = mol::build_helix(2);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Hierarchy h = build_helix_hierarchy(model);
+  assign_constraints(h, set);
+  EXPECT_GT(h.total_constraints(), 0);
+  clear_constraints(h);
+  EXPECT_EQ(h.total_constraints(), 0);
+}
+
+TEST(Assign, ReassignmentAppends) {
+  const mol::HelixModel model = mol::build_helix(1);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Hierarchy h = build_helix_hierarchy(model);
+  assign_constraints(h, set);
+  assign_constraints(h, set);
+  EXPECT_EQ(h.total_constraints(), 2 * set.size());
+}
+
+}  // namespace
+}  // namespace phmse::core

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::linalg {
+namespace {
+
+Matrix random_matrix(Index rows, Index cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) m(i, j) = rng.gaussian();
+  }
+  return m;
+}
+
+// SPD matrix via A A^T + n I.
+Matrix random_spd(Index n, Rng& rng) {
+  const Matrix a = random_matrix(n, n, rng);
+  Matrix s = matmul(a, transpose(a));
+  for (Index i = 0; i < n; ++i) s(i, i) += static_cast<double>(n);
+  return s;
+}
+
+TEST(Blas, DotComputesInnerProduct) {
+  const double x[] = {1.0, 2.0, 3.0};
+  const double y[] = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y, 3), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(dot(x, y, 0), 0.0);
+}
+
+TEST(Blas, AxpyAccumulates) {
+  const double x[] = {1.0, 2.0};
+  double y[] = {10.0, 20.0};
+  axpy(2.0, x, y, 2);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(Blas, GemvMatchesManual) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Vector x{1.0, 0.0, -1.0};
+  Vector y;
+  gemv(a, x, y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Blas, GemvChecksDimensions) {
+  Matrix a(2, 3);
+  Vector x(2);
+  Vector y;
+  EXPECT_THROW(gemv(a, x, y), Error);
+}
+
+TEST(Blas, MatmulIdentity) {
+  Rng rng(1);
+  const Matrix a = random_matrix(4, 4, rng);
+  Matrix eye(4, 4);
+  eye.set_identity();
+  EXPECT_LT(matmul(a, eye).frobenius_distance(a), 1e-12);
+  EXPECT_LT(matmul(eye, a).frobenius_distance(a), 1e-12);
+}
+
+TEST(Blas, MatmulTnEqualsTransposeThenMultiply) {
+  Rng rng(2);
+  const Matrix a = random_matrix(5, 3, rng);
+  const Matrix b = random_matrix(5, 4, rng);
+  const Matrix direct = matmul_tn(a, b);
+  const Matrix via_t = matmul(transpose(a), b);
+  EXPECT_LT(direct.frobenius_distance(via_t), 1e-12);
+}
+
+TEST(Blas, TransposeTwiceIsIdentity) {
+  Rng rng(3);
+  const Matrix a = random_matrix(3, 5, rng);
+  EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Cholesky, ReconstructsSpdMatrix) {
+  Rng rng(4);
+  const Matrix s = random_spd(6, rng);
+  Matrix l = s;
+  cholesky_serial(l);
+  const Matrix rebuilt = matmul(l, transpose(l));
+  EXPECT_LT(rebuilt.frobenius_distance(s), 1e-9 * s.max_abs());
+}
+
+TEST(Cholesky, UpperTriangleZeroed) {
+  Rng rng(5);
+  Matrix l = random_spd(4, rng);
+  cholesky_serial(l);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = i + 1; j < 4; ++j) EXPECT_EQ(l(i, j), 0.0);
+  }
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = -1.0;
+  EXPECT_THROW(cholesky_serial(m), Error);
+}
+
+TEST(Trsv, LowerSolveMatchesDirect) {
+  Rng rng(6);
+  Matrix l = random_spd(5, rng);
+  cholesky_serial(l);
+  Vector b{1, 2, 3, 4, 5};
+  Vector x = b;
+  trsv_lower(l, x);
+  // L x should reproduce b.
+  Vector check(5, 0.0);
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j <= i; ++j) {
+      check[static_cast<std::size_t>(i)] +=
+          l(i, j) * x[static_cast<std::size_t>(j)];
+    }
+  }
+  for (Index i = 0; i < 5; ++i) {
+    EXPECT_NEAR(check[static_cast<std::size_t>(i)],
+                b[static_cast<std::size_t>(i)], 1e-10);
+  }
+}
+
+TEST(Trsv, TransposedSolveMatchesDirect) {
+  Rng rng(7);
+  Matrix l = random_spd(5, rng);
+  cholesky_serial(l);
+  Vector b{5, 4, 3, 2, 1};
+  Vector x = b;
+  trsv_lower_transposed(l, x);
+  Vector check(5, 0.0);
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = i; j < 5; ++j) {
+      check[static_cast<std::size_t>(i)] +=
+          l(j, i) * x[static_cast<std::size_t>(j)];
+    }
+  }
+  for (Index i = 0; i < 5; ++i) {
+    EXPECT_NEAR(check[static_cast<std::size_t>(i)],
+                b[static_cast<std::size_t>(i)], 1e-10);
+  }
+}
+
+TEST(SpdSolve, RecoversKnownSolution) {
+  Rng rng(8);
+  const Matrix a = random_spd(6, rng);
+  const Matrix x_true = random_matrix(6, 2, rng);
+  const Matrix b = matmul(a, x_true);
+  const Matrix x = spd_solve(a, b);
+  EXPECT_LT(x.frobenius_distance(x_true), 1e-8);
+}
+
+TEST(SpdSolve, InverseTimesMatrixIsIdentity) {
+  Rng rng(9);
+  const Matrix a = random_spd(5, rng);
+  Matrix eye(5, 5);
+  eye.set_identity();
+  const Matrix inv = spd_solve(a, eye);
+  EXPECT_LT(matmul(a, inv).frobenius_distance(eye), 1e-9);
+}
+
+}  // namespace
+}  // namespace phmse::linalg

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "parallel/team.hpp"
+#include "simarch/sim_context.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::linalg {
+namespace {
+
+Matrix random_spd(Index n, Rng& rng) {
+  Matrix a(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) a(i, j) = rng.gaussian();
+  }
+  Matrix s = matmul(a, transpose(a));
+  for (Index i = 0; i < n; ++i) s(i, i) += static_cast<double>(n);
+  return s;
+}
+
+// (size, block) sweep: blocked factorization must agree with the serial
+// reference for sizes around and across block boundaries.
+class BlockedCholesky
+    : public ::testing::TestWithParam<std::tuple<Index, Index>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocks, BlockedCholesky,
+    ::testing::Combine(::testing::Values<Index>(1, 2, 7, 16, 31, 48, 65, 100),
+                       ::testing::Values<Index>(1, 8, 48)));
+
+TEST_P(BlockedCholesky, MatchesSerialReference) {
+  const auto [n, block] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 1000 + block));
+  const Matrix s = random_spd(n, rng);
+
+  Matrix expected = s;
+  cholesky_serial(expected);
+
+  par::SerialContext ctx;
+  Matrix actual = s;
+  cholesky(ctx, actual, block);
+
+  EXPECT_LT(actual.frobenius_distance(expected), 1e-9 * s.max_abs())
+      << "n=" << n << " block=" << block;
+}
+
+TEST_P(BlockedCholesky, ReconstructsInput) {
+  const auto [n, block] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 77 + block));
+  const Matrix s = random_spd(n, rng);
+  par::SerialContext ctx;
+  Matrix l = s;
+  cholesky(ctx, l, block);
+  EXPECT_LT(matmul(l, transpose(l)).frobenius_distance(s),
+            1e-9 * s.max_abs());
+}
+
+TEST(BlockedCholeskyTeam, MatchesSerial) {
+  Rng rng(42);
+  const Matrix s = random_spd(80, rng);
+  Matrix expected = s;
+  cholesky_serial(expected);
+
+  par::ThreadPool pool(4);
+  par::TeamContext team(pool, 0, 4);
+  Matrix actual = s;
+  cholesky(team, actual, 16);
+  EXPECT_LT(actual.frobenius_distance(expected), 1e-9 * s.max_abs());
+}
+
+TEST(BlockedCholeskySim, MatchesSerialAndChargesCholCategory) {
+  Rng rng(43);
+  const Matrix s = random_spd(64, rng);
+  Matrix expected = s;
+  cholesky_serial(expected);
+
+  simarch::SimMachine machine(simarch::dash32());
+  simarch::SimContext sim(machine, 0, 8);
+  Matrix actual = s;
+  cholesky(sim, actual, 16);
+  EXPECT_LT(actual.frobenius_distance(expected), 1e-9 * s.max_abs());
+  EXPECT_GT(machine.proc_profile(0).time(perf::Category::kCholesky), 0.0);
+  EXPECT_DOUBLE_EQ(machine.proc_profile(0).time(perf::Category::kMatMat),
+                   0.0);
+}
+
+TEST(BlockedCholesky, ThrowsOnIndefinite) {
+  Matrix m(3, 3);
+  m.set_identity();
+  m(2, 2) = -4.0;
+  par::SerialContext ctx;
+  EXPECT_THROW(cholesky(ctx, m, 2), Error);
+}
+
+TEST(BlockedCholesky, UpperTriangleZeroed) {
+  Rng rng(44);
+  Matrix s = random_spd(20, rng);
+  par::SerialContext ctx;
+  cholesky(ctx, s, 8);
+  for (Index i = 0; i < 20; ++i) {
+    for (Index j = i + 1; j < 20; ++j) EXPECT_EQ(s(i, j), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace phmse::linalg

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "constraints/helix_gen.hpp"
+#include "constraints/io.hpp"
+#include "molecule/rna_helix.hpp"
+#include "support/check.hpp"
+
+namespace phmse::cons {
+namespace {
+
+TEST(ConstraintIo, ParsesEveryKind) {
+  std::stringstream ss(R"(
+# header comment
+distance 0 1 2.5 0.1
+angle 0 1 2 1.5708 0.02 6
+torsion 0 1 2 3 -0.5 0.08 7
+position 2 y 4.25 0.3
+
+distance 1 3 7.0 0.5 5   # trailing comment
+)");
+  const ConstraintSet set = read_constraints(ss, 4);
+  ASSERT_EQ(set.size(), 5);
+
+  EXPECT_EQ(set[0].kind, Kind::kDistance);
+  EXPECT_DOUBLE_EQ(set[0].observed, 2.5);
+  EXPECT_DOUBLE_EQ(set[0].variance, 0.01);
+  EXPECT_EQ(set[0].category, 0);
+
+  EXPECT_EQ(set[1].kind, Kind::kAngle);
+  EXPECT_EQ(set[1].category, 6);
+
+  EXPECT_EQ(set[2].kind, Kind::kTorsion);
+  EXPECT_EQ(set[2].atoms[3], 3);
+
+  EXPECT_EQ(set[3].kind, Kind::kPosition);
+  EXPECT_EQ(set[3].axis, 1);
+  EXPECT_DOUBLE_EQ(set[3].observed, 4.25);
+
+  EXPECT_EQ(set[4].category, 5);
+}
+
+TEST(ConstraintIo, RoundTripsThroughText) {
+  const mol::HelixModel model = mol::build_helix(1);
+  HelixNoise noise;
+  noise.anchor_first_pair = true;
+  noise.include_chemistry_angles = true;
+  const ConstraintSet original = generate_helix_constraints(model, noise);
+
+  std::stringstream ss;
+  write_constraints(ss, original, "round trip");
+  const ConstraintSet back = read_constraints(ss, model.num_atoms());
+
+  ASSERT_EQ(back.size(), original.size());
+  for (Index i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].kind, original[i].kind);
+    EXPECT_EQ(back[i].atoms, original[i].atoms);
+    EXPECT_EQ(back[i].axis, original[i].axis);
+    EXPECT_EQ(back[i].category, original[i].category);
+    EXPECT_NEAR(back[i].observed, original[i].observed, 1e-9);
+    EXPECT_NEAR(back[i].variance, original[i].variance, 1e-12);
+  }
+}
+
+TEST(ConstraintIo, RejectsUnknownKind) {
+  std::stringstream ss("wiggle 0 1 2.0 0.1\n");
+  EXPECT_THROW(read_constraints(ss), phmse::Error);
+}
+
+TEST(ConstraintIo, RejectsBadArity) {
+  std::stringstream ss("distance 0 2.0 0.1\n");
+  EXPECT_THROW(read_constraints(ss), phmse::Error);
+}
+
+TEST(ConstraintIo, RejectsOutOfRangeAtom) {
+  std::stringstream ss("distance 0 9 2.0 0.1\n");
+  EXPECT_THROW(read_constraints(ss, 4), phmse::Error);
+  // Without a bound the same line parses.
+  std::stringstream ss2("distance 0 9 2.0 0.1\n");
+  EXPECT_EQ(read_constraints(ss2, -1).size(), 1);
+}
+
+TEST(ConstraintIo, RejectsNonPositiveSigma) {
+  std::stringstream ss("distance 0 1 2.0 0.0\n");
+  EXPECT_THROW(read_constraints(ss, 4), phmse::Error);
+}
+
+TEST(ConstraintIo, RejectsBadAxis) {
+  std::stringstream ss("position 0 w 1.0 0.1\n");
+  EXPECT_THROW(read_constraints(ss, 4), phmse::Error);
+}
+
+TEST(ConstraintIo, ErrorMentionsLineNumber) {
+  std::stringstream ss("distance 0 1 2.0 0.1\nbogus line here\n");
+  try {
+    read_constraints(ss, 4);
+    FAIL() << "expected throw";
+  } catch (const phmse::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ConstraintIo, AcceptsNumericAxis) {
+  std::stringstream ss("position 0 2 1.0 0.1\n");
+  const ConstraintSet set = read_constraints(ss, 4);
+  EXPECT_EQ(set[0].axis, 2);
+}
+
+}  // namespace
+}  // namespace phmse::cons

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "constraints/constraint.hpp"
+#include "constraints/set.hpp"
+#include "molecule/topology.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::cons {
+namespace {
+
+using mol::Vec3;
+
+std::array<Vec3, 4> random_positions(Rng& rng, double scale = 3.0) {
+  std::array<Vec3, 4> pos;
+  for (auto& p : pos) {
+    p = {rng.gaussian(0.0, scale), rng.gaussian(0.0, scale),
+         rng.gaussian(0.0, scale)};
+  }
+  return pos;
+}
+
+// Central finite-difference gradient of the measurement function.
+Gradient fd_gradient(const Constraint& c, std::array<Vec3, 4> pos) {
+  constexpr double h = 1e-6;
+  Gradient g;
+  for (Index k = 0; k < arity(c.kind); ++k) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto& coord = axis == 0 ? pos[static_cast<std::size_t>(k)].x
+                    : axis == 1 ? pos[static_cast<std::size_t>(k)].y
+                                : pos[static_cast<std::size_t>(k)].z;
+      const double saved = coord;
+      coord = saved + h;
+      const double plus = evaluate(c, pos);
+      coord = saved - h;
+      const double minus = evaluate(c, pos);
+      coord = saved;
+      double d = (plus - minus) / (2.0 * h);
+      auto& out = g.d[static_cast<std::size_t>(k)];
+      (axis == 0 ? out.x : axis == 1 ? out.y : out.z) = d;
+    }
+  }
+  return g;
+}
+
+void expect_gradient_matches_fd(const Constraint& c,
+                                const std::array<Vec3, 4>& pos,
+                                double tol = 1e-5) {
+  Gradient analytic;
+  evaluate_with_gradient(c, pos, analytic);
+  const Gradient fd = fd_gradient(c, pos);
+  for (Index k = 0; k < arity(c.kind); ++k) {
+    const auto& a = analytic.d[static_cast<std::size_t>(k)];
+    const auto& f = fd.d[static_cast<std::size_t>(k)];
+    EXPECT_NEAR(a.x, f.x, tol) << "atom " << k << " x";
+    EXPECT_NEAR(a.y, f.y, tol) << "atom " << k << " y";
+    EXPECT_NEAR(a.z, f.z, tol) << "atom " << k << " z";
+  }
+}
+
+TEST(ConstraintArity, MatchesKind) {
+  EXPECT_EQ(arity(Kind::kDistance), 2);
+  EXPECT_EQ(arity(Kind::kAngle), 3);
+  EXPECT_EQ(arity(Kind::kTorsion), 4);
+  EXPECT_EQ(arity(Kind::kPosition), 1);
+}
+
+TEST(DistanceConstraint, EvaluatesEuclideanDistance) {
+  Constraint c;
+  c.kind = Kind::kDistance;
+  std::array<Vec3, 4> pos{};
+  pos[0] = {0, 0, 0};
+  pos[1] = {3, 4, 0};
+  EXPECT_DOUBLE_EQ(evaluate(c, pos), 5.0);
+}
+
+TEST(DistanceConstraint, GradientIsUnitDirection) {
+  Constraint c;
+  c.kind = Kind::kDistance;
+  std::array<Vec3, 4> pos{};
+  pos[0] = {2, 0, 0};
+  pos[1] = {0, 0, 0};
+  Gradient g;
+  evaluate_with_gradient(c, pos, g);
+  EXPECT_DOUBLE_EQ(g.d[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(g.d[1].x, -1.0);
+  EXPECT_DOUBLE_EQ(g.d[0].y, 0.0);
+}
+
+TEST(DistanceConstraint, CoincidentAtomsYieldZeroGradient) {
+  Constraint c;
+  c.kind = Kind::kDistance;
+  std::array<Vec3, 4> pos{};  // all at origin
+  Gradient g;
+  const double v = evaluate_with_gradient(c, pos, g);
+  EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_DOUBLE_EQ(g.d[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(g.d[1].x, 0.0);
+}
+
+TEST(AngleConstraint, EvaluatesKnownAngles) {
+  Constraint c;
+  c.kind = Kind::kAngle;
+  std::array<Vec3, 4> pos{};
+  pos[0] = {1, 0, 0};
+  pos[1] = {0, 0, 0};
+  pos[2] = {0, 1, 0};
+  EXPECT_NEAR(evaluate(c, pos), M_PI / 2.0, 1e-12);
+}
+
+TEST(PositionConstraint, ObservesSelectedAxis) {
+  Constraint c;
+  c.kind = Kind::kPosition;
+  std::array<Vec3, 4> pos{};
+  pos[0] = {1.5, 2.5, 3.5};
+  for (int axis = 0; axis < 3; ++axis) {
+    c.axis = axis;
+    EXPECT_DOUBLE_EQ(evaluate(c, pos), axis == 0 ? 1.5 : axis == 1 ? 2.5 : 3.5);
+    Gradient g;
+    evaluate_with_gradient(c, pos, g);
+    EXPECT_DOUBLE_EQ(axis == 0 ? g.d[0].x : axis == 1 ? g.d[0].y : g.d[0].z,
+                     1.0);
+  }
+}
+
+// Property test: analytic gradients match finite differences on random
+// geometries, for every constraint kind.
+class GradientFd : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GradientFd, ::testing::Range(0, 20));
+
+TEST_P(GradientFd, DistanceGradient) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  Constraint c;
+  c.kind = Kind::kDistance;
+  expect_gradient_matches_fd(c, random_positions(rng));
+}
+
+TEST_P(GradientFd, AngleGradient) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 200);
+  Constraint c;
+  c.kind = Kind::kAngle;
+  expect_gradient_matches_fd(c, random_positions(rng));
+}
+
+TEST_P(GradientFd, TorsionGradient) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 300);
+  Constraint c;
+  c.kind = Kind::kTorsion;
+  expect_gradient_matches_fd(c, random_positions(rng), 1e-4);
+}
+
+TEST_P(GradientFd, PositionGradient) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 400);
+  Constraint c;
+  c.kind = Kind::kPosition;
+  c.axis = GetParam() % 3;
+  expect_gradient_matches_fd(c, random_positions(rng));
+}
+
+// Translation invariance: distance/angle/torsion values are unchanged when
+// all atoms are shifted together (the gauge freedom the prior regularizes).
+TEST_P(GradientFd, MeasurementsAreTranslationInvariant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  const Vec3 shift{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+  for (Kind kind : {Kind::kDistance, Kind::kAngle, Kind::kTorsion}) {
+    Constraint c;
+    c.kind = kind;
+    auto pos = random_positions(rng);
+    const double v0 = evaluate(c, pos);
+    for (auto& p : pos) p += shift;
+    EXPECT_NEAR(evaluate(c, pos), v0, 1e-9);
+  }
+}
+
+TEST(ConstraintSet, AtomSpanTracksExtremes) {
+  ConstraintSet set;
+  EXPECT_EQ(set.atom_span(), (std::pair<Index, Index>{0, -1}));
+  Constraint c;
+  c.kind = Kind::kDistance;
+  c.atoms = {5, 9, 0, 0};
+  set.add(c);
+  c.atoms = {2, 7, 0, 0};
+  set.add(c);
+  EXPECT_EQ(set.atom_span(), (std::pair<Index, Index>{2, 9}));
+}
+
+TEST(ConstraintSet, AppendConcatenates) {
+  ConstraintSet a;
+  ConstraintSet b;
+  Constraint c;
+  a.add(c);
+  b.add(c);
+  b.add(c);
+  a.append(b);
+  EXPECT_EQ(a.size(), 3);
+}
+
+TEST(ConstraintSet, CountCategory) {
+  ConstraintSet set;
+  Constraint c;
+  c.category = 1;
+  set.add(c);
+  set.add(c);
+  c.category = 2;
+  set.add(c);
+  EXPECT_EQ(set.count_category(1), 2);
+  EXPECT_EQ(set.count_category(2), 1);
+  EXPECT_EQ(set.count_category(3), 0);
+}
+
+TEST(MakeObserved, ObservationNearTruth) {
+  mol::Topology topo;
+  topo.add_atom("a", {0, 0, 0});
+  topo.add_atom("b", {10, 0, 0});
+  Rng rng(7);
+  const Constraint c =
+      make_observed(Kind::kDistance, {0, 1, 0, 0}, topo, 0.01, rng, 3);
+  EXPECT_NEAR(c.observed, 10.0, 0.1);
+  EXPECT_DOUBLE_EQ(c.variance, 0.0001);
+  EXPECT_EQ(c.category, 3);
+}
+
+TEST(MakeObserved, RejectsNonPositiveSigma) {
+  mol::Topology topo;
+  topo.add_atom("a", {0, 0, 0});
+  Rng rng(8);
+  EXPECT_THROW(
+      make_observed(Kind::kPosition, {0, 0, 0, 0}, topo, 0.0, rng),
+      phmse::Error);
+}
+
+TEST(RmsResidual, ZeroWhenObservationsExact) {
+  mol::Topology topo;
+  topo.add_atom("a", {0, 0, 0});
+  topo.add_atom("b", {2, 0, 0});
+  ConstraintSet set;
+  Constraint c;
+  c.kind = Kind::kDistance;
+  c.atoms = {0, 1, 0, 0};
+  c.observed = 2.0;
+  set.add(c);
+  EXPECT_DOUBLE_EQ(rms_residual(set, topo, topo.true_state()), 0.0);
+
+  auto x = topo.true_state();
+  x[3] = 3.0;  // stretch to distance 3
+  EXPECT_NEAR(rms_residual(set, topo, x), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace phmse::cons

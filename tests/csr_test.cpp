@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "linalg/csr.hpp"
+#include "support/check.hpp"
+
+namespace phmse::linalg {
+namespace {
+
+TEST(Csr, EmptyMatrixHasNoRows) {
+  Csr m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(CsrBuilder, BuildsRowsInOrder) {
+  CsrBuilder b(5);
+  b.begin_row();
+  b.add(2, 1.5);
+  b.add(0, -1.0);
+  b.begin_row();
+  b.add(4, 2.0);
+  const Csr m = b.finish();
+
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 5);
+  EXPECT_EQ(m.nnz(), 3);
+
+  // Within-row entries are sorted by column.
+  const auto idx0 = m.row_indices(0);
+  ASSERT_EQ(idx0.size(), 2u);
+  EXPECT_EQ(idx0[0], 0);
+  EXPECT_EQ(idx0[1], 2);
+  EXPECT_DOUBLE_EQ(m.row_values(0)[0], -1.0);
+  EXPECT_DOUBLE_EQ(m.row_values(0)[1], 1.5);
+}
+
+TEST(CsrBuilder, MergesDuplicateColumns) {
+  CsrBuilder b(3);
+  b.begin_row();
+  b.add(1, 2.0);
+  b.add(1, 0.5);
+  const Csr m = b.finish();
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.5);
+}
+
+TEST(CsrBuilder, EmptyRowsAllowed) {
+  CsrBuilder b(3);
+  b.begin_row();
+  b.begin_row();
+  b.add(0, 1.0);
+  const Csr m = b.finish();
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.row_nnz(0), 0);
+  EXPECT_EQ(m.row_nnz(1), 1);
+}
+
+TEST(CsrBuilder, AddOutsideRowThrows) {
+  CsrBuilder b(3);
+  EXPECT_THROW(b.add(0, 1.0), Error);
+}
+
+TEST(CsrBuilder, ColumnBoundsChecked) {
+  CsrBuilder b(3);
+  b.begin_row();
+  EXPECT_THROW(b.add(3, 1.0), Error);
+  EXPECT_THROW(b.add(-1, 1.0), Error);
+}
+
+TEST(Csr, AtReturnsZeroForMissingEntry) {
+  CsrBuilder b(4);
+  b.begin_row();
+  b.add(1, 5.0);
+  const Csr m = b.finish();
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 3), 0.0);
+}
+
+TEST(CsrBuilder, FinishResetsBuilder) {
+  CsrBuilder b(2);
+  b.begin_row();
+  b.add(0, 1.0);
+  const Csr first = b.finish();
+  EXPECT_EQ(first.rows(), 1);
+  // Builder is reusable after finish().
+  b.begin_row();
+  b.add(1, 2.0);
+  const Csr second = b.finish();
+  EXPECT_EQ(second.rows(), 1);
+  EXPECT_DOUBLE_EQ(second.at(0, 1), 2.0);
+}
+
+}  // namespace
+}  // namespace phmse::linalg

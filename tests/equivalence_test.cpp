@@ -1,0 +1,251 @@
+// The paper's Section-3 claim, tested literally: "this hierarchical
+// organization achieves the same computation as the original flat problem.
+// The difference is in the elimination of useless operations with zeros."
+//
+// For LINEAR measurement functions (position observations) there is no
+// relinearization, so applying the constraints in the same order must give
+// *identical* results whether the state is updated flat or through the
+// hierarchy — the off-diagonal blocks the hierarchy never touches are
+// exactly the ones that are zero in the flat run.
+#include <gtest/gtest.h>
+
+#include "core/assign.hpp"
+#include "core/hier_solver.hpp"
+#include "estimation/update.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::core {
+namespace {
+
+using cons::Constraint;
+using cons::Kind;
+
+Constraint position_obs(Index atom, int axis, double z, double sigma) {
+  Constraint c;
+  c.kind = Kind::kPosition;
+  c.atoms = {atom, 0, 0, 0};
+  c.axis = axis;
+  c.observed = z;
+  c.variance = sigma * sigma;
+  return c;
+}
+
+// A linear problem over `atoms` atoms: every atom gets a few position
+// observations; a fraction "spans" two halves only through ordering (all
+// measurements are single-atom, so each lands on a leaf — we also add
+// cross-half pairs as linear two-atom observations below).
+class LinearEquivalence : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Trees, LinearEquivalence, ::testing::Range(0, 6));
+
+TEST_P(LinearEquivalence, HierarchicalEqualsFlatForLinearData) {
+  Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  const Index atoms = 8 + 2 * GetParam();
+  const Index leaf = 2 + GetParam() % 3;
+
+  // Hierarchy via recursive bisection.
+  Hierarchy h = build_bisection_hierarchy(atoms, leaf);
+
+  // Linear constraints, generated in hierarchy application order: walk the
+  // tree post-order and emit observations for each node's atoms.  The flat
+  // run applies the very same sequence.
+  cons::ConstraintSet ordered;
+  h.for_each_post_order([&](HierNode& node) {
+    if (!node.is_leaf()) return;
+    for (Index a = node.atom_begin; a < node.atom_end; ++a) {
+      for (int axis = 0; axis < 3; ++axis) {
+        node.constraints.add(position_obs(a, axis, rng.gaussian(0.0, 1.0),
+                                          0.3 + 0.1 * (axis + 1)));
+      }
+    }
+    ordered.append(node.constraints);
+  });
+
+  linalg::Vector x0(static_cast<std::size_t>(3 * atoms));
+  for (auto& v : x0) v = rng.gaussian(0.0, 2.0);
+
+  // Hierarchical solve (one cycle).
+  HierSolveOptions hopts;
+  hopts.batch_size = 4;
+  hopts.prior_sigma = 1.5;
+  par::SerialContext ctx1;
+  const HierSolveResult hier = solve_hierarchical(ctx1, h, x0, hopts);
+
+  // Flat application of the identical sequence.
+  est::NodeState flat;
+  flat.atom_begin = 0;
+  flat.atom_end = atoms;
+  flat.x = x0;
+  flat.reset_covariance(1.5);
+  par::SerialContext ctx2;
+  est::BatchUpdater updater;
+  updater.apply_all(ctx2, flat, ordered, 4, 0);
+
+  // With linear measurements the two computations are the same numbers.
+  for (std::size_t i = 0; i < flat.x.size(); ++i) {
+    EXPECT_NEAR(hier.state.x[i], flat.x[i], 1e-10) << "coord " << i;
+  }
+  EXPECT_LT(hier.state.c.frobenius_distance(flat.c), 1e-9);
+}
+
+TEST(LinearEquivalenceCross, BoundarySpanningConstraintsMatchToo) {
+  // Same, with genuine two-atom linear-ish... distances are nonlinear, so
+  // use pairs of single-coordinate observations plus a *shared* atom
+  // pattern: an observation of atom a's x and atom b's x with correlated
+  // noise cannot be expressed as one scalar linear constraint in our
+  // constraint language, so instead verify the hierarchy places multi-atom
+  // constraints at interior nodes and the linear equivalence still holds
+  // when those constraints (position pairs applied at the parent) come
+  // after the leaves.
+  Rng rng(7);
+  const Index atoms = 8;
+  Hierarchy h = build_bisection_hierarchy(atoms, 4);
+
+  cons::ConstraintSet ordered;
+  h.for_each_post_order([&](HierNode& node) {
+    if (node.is_leaf()) {
+      for (Index a = node.atom_begin; a < node.atom_end; ++a) {
+        node.constraints.add(position_obs(a, 0, rng.gaussian(), 0.5));
+      }
+    } else {
+      // "Boundary" data: observations of atoms on both sides, applied at
+      // the parent exactly as assign_constraints would place a spanning
+      // constraint.
+      node.constraints.add(
+          position_obs(node.atom_begin, 1, rng.gaussian(), 0.4));
+      node.constraints.add(
+          position_obs(node.atom_end - 1, 1, rng.gaussian(), 0.4));
+    }
+    ordered.append(node.constraints);
+  });
+
+  linalg::Vector x0(static_cast<std::size_t>(3 * atoms), 0.0);
+
+  HierSolveOptions hopts;
+  hopts.batch_size = 2;
+  hopts.prior_sigma = 1.0;
+  par::SerialContext ctx1;
+  const HierSolveResult hier = solve_hierarchical(ctx1, h, x0, hopts);
+
+  est::NodeState flat;
+  flat.atom_begin = 0;
+  flat.atom_end = atoms;
+  flat.x = x0;
+  flat.reset_covariance(1.0);
+  par::SerialContext ctx2;
+  est::BatchUpdater updater;
+  updater.apply_all(ctx2, flat, ordered, 2, 0);
+
+  for (std::size_t i = 0; i < flat.x.size(); ++i) {
+    EXPECT_NEAR(hier.state.x[i], flat.x[i], 1e-10);
+  }
+  EXPECT_LT(hier.state.c.frobenius_distance(flat.c), 1e-9);
+}
+
+TEST(LinearEquivalence, NonlinearDataIsExactTooWhenOrderMatches) {
+  // A stronger form of the Section-3 claim: the per-constraint update
+  // depends only on the current (x, C) restricted to the constraint's
+  // atoms, and until a cross-part constraint arrives those restrictions
+  // are identical in the flat and hierarchical runs.  So when the flat run
+  // applies constraints in the hierarchy's post-order, the two computations
+  // coincide step by step even for NONLINEAR measurements — same
+  // linearization points, same numbers.
+  Rng rng(8);
+  const Index atoms = 6;
+  Hierarchy h = build_bisection_hierarchy(atoms, 3);
+
+  cons::ConstraintSet ordered;
+  mol::Topology topo;
+  for (Index a = 0; a < atoms; ++a) {
+    topo.add_atom("a" + std::to_string(a),
+                  {static_cast<double>(a) * 1.5, 0.3 * (a % 2), 0.0});
+  }
+  h.for_each_post_order([&](HierNode& node) {
+    for (Index a = node.atom_begin; a + 1 < node.atom_end; ++a) {
+      node.constraints.add(cons::make_observed(
+          Kind::kDistance, {a, a + 1, 0, 0}, topo, 0.05, rng));
+    }
+    ordered.append(node.constraints);
+  });
+
+  linalg::Vector x0 = topo.true_state();
+  for (auto& v : x0) v += rng.gaussian(0.0, 0.05);
+
+  HierSolveOptions hopts;
+  hopts.batch_size = 4;
+  hopts.prior_sigma = 0.5;
+  par::SerialContext ctx1;
+  const HierSolveResult hier = solve_hierarchical(ctx1, h, x0, hopts);
+
+  est::NodeState flat;
+  flat.atom_begin = 0;
+  flat.atom_end = atoms;
+  flat.x = x0;
+  flat.reset_covariance(0.5);
+  par::SerialContext ctx2;
+  est::BatchUpdater updater;
+  updater.apply_all(ctx2, flat, ordered, 4, 0);
+
+  for (std::size_t i = 0; i < flat.x.size(); ++i) {
+    EXPECT_NEAR(hier.state.x[i], flat.x[i], 1e-12);
+  }
+  EXPECT_LT(hier.state.c.frobenius_distance(flat.c), 1e-10);
+}
+
+TEST(LinearEquivalence, DifferentOrderDivergesForNonlinearData) {
+  // The counterpoint that pins the mechanism down: apply the same
+  // nonlinear constraints in a DIFFERENT order in the flat run, and the
+  // relinearization points drift apart — the results are close but no
+  // longer identical.  (The paper's Section 5 discusses exactly this
+  // ordering effect on convergence.)
+  Rng rng(9);
+  const Index atoms = 6;
+  Hierarchy h = build_bisection_hierarchy(atoms, 3);
+
+  mol::Topology topo;
+  for (Index a = 0; a < atoms; ++a) {
+    topo.add_atom("a" + std::to_string(a),
+                  {static_cast<double>(a) * 1.5, 0.3 * (a % 2), 0.1 * a});
+  }
+  cons::ConstraintSet ordered;
+  h.for_each_post_order([&](HierNode& node) {
+    for (Index a = node.atom_begin; a + 1 < node.atom_end; ++a) {
+      node.constraints.add(cons::make_observed(
+          Kind::kDistance, {a, a + 1, 0, 0}, topo, 0.05, rng));
+    }
+    ordered.append(node.constraints);
+  });
+
+  linalg::Vector x0 = topo.true_state();
+  for (auto& v : x0) v += rng.gaussian(0.0, 0.1);
+
+  HierSolveOptions hopts;
+  hopts.batch_size = 4;
+  hopts.prior_sigma = 0.5;
+  par::SerialContext ctx1;
+  const HierSolveResult hier = solve_hierarchical(ctx1, h, x0, hopts);
+
+  // Reversed constraint order.
+  cons::ConstraintSet reversed;
+  for (Index i = ordered.size(); i > 0; --i) reversed.add(ordered[i - 1]);
+  est::NodeState flat;
+  flat.atom_begin = 0;
+  flat.atom_end = atoms;
+  flat.x = x0;
+  flat.reset_covariance(0.5);
+  par::SerialContext ctx2;
+  est::BatchUpdater updater;
+  updater.apply_all(ctx2, flat, reversed, 4, 0);
+
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < flat.x.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(hier.state.x[i] - flat.x[i]));
+  }
+  EXPECT_GT(max_diff, 1e-12);  // genuinely different paths...
+  // ...to answers within the prior's reach of each other (the chain has
+  // unanchored gauge freedom, so order changes shift the pose noticeably).
+  EXPECT_LT(max_diff, 1.0);
+}
+
+}  // namespace
+}  // namespace phmse::core

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "molecule/geom.hpp"
+
+namespace phmse::mol {
+namespace {
+
+TEST(Vec3, ArithmeticWorks) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  const Vec3 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 5.0);
+  EXPECT_DOUBLE_EQ(sum.y, 7.0);
+  EXPECT_DOUBLE_EQ(sum.z, 9.0);
+  const Vec3 diff = b - a;
+  EXPECT_DOUBLE_EQ(diff.x, 3.0);
+  const Vec3 scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.z, 6.0);
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  const Vec3 z = x.cross(y);
+  EXPECT_DOUBLE_EQ(z.x, 0.0);
+  EXPECT_DOUBLE_EQ(z.y, 0.0);
+  EXPECT_DOUBLE_EQ(z.z, 1.0);
+}
+
+TEST(Vec3, NormOfPythagoreanTriple) {
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).norm2(), 25.0);
+}
+
+TEST(Distance, SimpleCases) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(distance({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(BondAngle, RightAngle) {
+  EXPECT_NEAR(bond_angle({1, 0, 0}, {0, 0, 0}, {0, 1, 0}), M_PI / 2.0, 1e-12);
+}
+
+TEST(BondAngle, StraightAndZero) {
+  EXPECT_NEAR(bond_angle({1, 0, 0}, {0, 0, 0}, {-1, 0, 0}), M_PI, 1e-12);
+  EXPECT_NEAR(bond_angle({1, 0, 0}, {0, 0, 0}, {2, 0, 0}), 0.0, 1e-12);
+}
+
+TEST(BondAngle, DegenerateVertexIsSafe) {
+  EXPECT_DOUBLE_EQ(bond_angle({0, 0, 0}, {0, 0, 0}, {1, 0, 0}), 0.0);
+}
+
+TEST(Dihedral, KnownConfigurations) {
+  // cis: 0; trans: pi; +-90 degrees for perpendicular.
+  EXPECT_NEAR(dihedral({1, 1, 0}, {1, 0, 0}, {-1, 0, 0}, {-1, 1, 0}), 0.0,
+              1e-12);
+  EXPECT_NEAR(std::abs(dihedral({1, 1, 0}, {1, 0, 0}, {-1, 0, 0},
+                                {-1, -1, 0})),
+              M_PI, 1e-12);
+  EXPECT_NEAR(dihedral({1, 1, 0}, {1, 0, 0}, {-1, 0, 0}, {-1, 0, 1}),
+              -M_PI / 2.0, 1e-12);
+}
+
+TEST(Dihedral, SignFlipsWithMirror) {
+  const double d1 = dihedral({1, 1, 0}, {1, 0, 0}, {-1, 0, 0}, {-1, 0.5, 0.5});
+  const double d2 =
+      dihedral({1, 1, 0}, {1, 0, 0}, {-1, 0, 0}, {-1, 0.5, -0.5});
+  EXPECT_NEAR(d1, -d2, 1e-12);
+  EXPECT_NE(d1, 0.0);
+}
+
+}  // namespace
+}  // namespace phmse::mol

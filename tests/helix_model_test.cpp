@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "molecule/rna_helix.hpp"
+#include "support/check.hpp"
+
+namespace phmse::mol {
+namespace {
+
+// Table 1 of the paper: helices of 1, 2, 4, 8 and 16 base pairs have 43,
+// 86, 170, 340 and 680 atoms.  The "GCAU" sequence reproduces this exactly.
+class HelixAtomCounts
+    : public ::testing::TestWithParam<std::pair<Index, Index>> {};
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, HelixAtomCounts,
+                         ::testing::Values(std::pair<Index, Index>{1, 43},
+                                           std::pair<Index, Index>{2, 86},
+                                           std::pair<Index, Index>{4, 170},
+                                           std::pair<Index, Index>{8, 340},
+                                           std::pair<Index, Index>{16, 680}));
+
+TEST_P(HelixAtomCounts, MatchesPaperTable1) {
+  const auto [length, atoms] = GetParam();
+  const HelixModel model = build_helix(length);
+  EXPECT_EQ(model.num_atoms(), atoms);
+  EXPECT_EQ(model.num_pairs(), length);
+}
+
+TEST(HelixModel, SidechainSizesFollowBaseType) {
+  EXPECT_EQ(sidechain_atoms('A'), 10);
+  EXPECT_EQ(sidechain_atoms('C'), 8);
+  EXPECT_EQ(sidechain_atoms('G'), 11);
+  EXPECT_EQ(sidechain_atoms('U'), 8);
+  EXPECT_THROW(sidechain_atoms('X'), phmse::Error);
+}
+
+TEST(HelixModel, WatsonCrickComplement) {
+  EXPECT_EQ(complement('A'), 'U');
+  EXPECT_EQ(complement('U'), 'A');
+  EXPECT_EQ(complement('G'), 'C');
+  EXPECT_EQ(complement('C'), 'G');
+}
+
+TEST(HelixModel, AtomRangesAreContiguousAndOrdered) {
+  const HelixModel model = build_helix(4);
+  Index cursor = 0;
+  for (const BasePair& pair : model.pairs) {
+    for (const BaseGroup* base : {&pair.strand1, &pair.strand2}) {
+      EXPECT_EQ(base->backbone_begin, cursor);
+      EXPECT_EQ(base->backbone_end - base->backbone_begin, kBackboneAtoms);
+      EXPECT_EQ(base->sidechain_begin, base->backbone_end);
+      cursor = base->sidechain_end;
+    }
+  }
+  EXPECT_EQ(cursor, model.num_atoms());
+}
+
+TEST(HelixModel, StrandsAreComplementary) {
+  const HelixModel model = build_helix(4);
+  for (const BasePair& pair : model.pairs) {
+    EXPECT_EQ(pair.strand2.type, complement(pair.strand1.type));
+  }
+  EXPECT_EQ(model.sequence, "GCAU");
+}
+
+TEST(HelixModel, HelixRisesAlongZ) {
+  const HelixModel model = build_helix(8, /*jitter=*/0.0);
+  // Mean z of each base pair must increase monotonically.
+  double prev = -1e9;
+  for (const BasePair& pair : model.pairs) {
+    double z = 0.0;
+    Index n = 0;
+    for (Index a = pair.begin(); a < pair.end(); ++a) {
+      z += model.topology.atom(a).position.z;
+      ++n;
+    }
+    z /= static_cast<double>(n);
+    EXPECT_GT(z, prev);
+    prev = z;
+  }
+}
+
+TEST(HelixModel, PairedBasesAreClose) {
+  const HelixModel model = build_helix(4, 0.0);
+  for (const BasePair& pair : model.pairs) {
+    // Sidechains face each other: min cross-pair sidechain distance should
+    // be much smaller than the helix diameter.
+    double min_d = 1e9;
+    for (Index i = pair.strand1.sidechain_begin;
+         i < pair.strand1.sidechain_end; ++i) {
+      for (Index j = pair.strand2.sidechain_begin;
+           j < pair.strand2.sidechain_end; ++j) {
+        min_d = std::min(min_d, distance(model.topology.atom(i).position,
+                                         model.topology.atom(j).position));
+      }
+    }
+    EXPECT_LT(min_d, 8.0);
+  }
+}
+
+TEST(HelixModel, DeterministicForSameLength) {
+  const HelixModel a = build_helix(2);
+  const HelixModel b = build_helix(2);
+  ASSERT_EQ(a.num_atoms(), b.num_atoms());
+  for (Index i = 0; i < a.num_atoms(); ++i) {
+    EXPECT_DOUBLE_EQ(a.topology.atom(i).position.x,
+                     b.topology.atom(i).position.x);
+  }
+}
+
+TEST(HelixModel, CustomSequenceRespected) {
+  const HelixModel model = build_helix_with_sequence("AAG");
+  EXPECT_EQ(model.num_pairs(), 3);
+  EXPECT_EQ(model.pairs[0].strand1.type, 'A');
+  EXPECT_EQ(model.pairs[2].strand1.type, 'G');
+  EXPECT_EQ(model.pairs[2].strand2.type, 'C');
+  // 2x(12+10+12+8) + (12+11+12+8) = 84 + 84 + 43
+  EXPECT_EQ(model.num_atoms(), 42 + 42 + 43);
+}
+
+TEST(HelixModel, RejectsEmptyAndBadInput) {
+  EXPECT_THROW(build_helix(0), phmse::Error);
+  EXPECT_THROW(build_helix_with_sequence(""), phmse::Error);
+  EXPECT_THROW(build_helix_with_sequence("GX"), phmse::Error);
+}
+
+}  // namespace
+}  // namespace phmse::mol

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "support/check.hpp"
+
+namespace phmse::linalg {
+namespace {
+
+TEST(Matrix, ConstructsZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, ElementAccessRoundTrips) {
+  Matrix m(2, 2);
+  m(0, 1) = 3.5;
+  m(1, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(m(1, 0), -2.0);
+}
+
+TEST(Matrix, RowSpanIsContiguousRowMajor) {
+  Matrix m(2, 3);
+  m(1, 0) = 1.0;
+  m(1, 2) = 2.0;
+  auto row = m.row(1);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+  EXPECT_DOUBLE_EQ(row[2], 2.0);
+  EXPECT_EQ(row.data(), m.data() + 3);
+}
+
+TEST(Matrix, SetIdentity) {
+  Matrix m(3, 3);
+  m.fill(7.0);
+  m.set_identity();
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, SetScaledIdentityRequiresSquare) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.set_scaled_identity(2.0), Error);
+}
+
+TEST(Matrix, ResizeZeroClearsContents) {
+  Matrix m(2, 2);
+  m.fill(5.0);
+  m.resize_zero(3, 1);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 1);
+  for (Index i = 0; i < 3; ++i) EXPECT_EQ(m(i, 0), 0.0);
+}
+
+TEST(Matrix, PlaceAndExtractBlockRoundTrip) {
+  Matrix block(2, 2);
+  block(0, 0) = 1.0;
+  block(0, 1) = 2.0;
+  block(1, 0) = 3.0;
+  block(1, 1) = 4.0;
+  Matrix m(4, 4);
+  m.place_block(1, 2, block);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m(2, 3), 4.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_EQ(m.extract_block(1, 2, 2, 2), block);
+}
+
+TEST(Matrix, PlaceBlockBoundsChecked) {
+  Matrix block(2, 2);
+  Matrix m(3, 3);
+  EXPECT_THROW(m.place_block(2, 2, block), Error);
+}
+
+TEST(Matrix, MaxAbs) {
+  Matrix m(2, 2);
+  m(0, 1) = -9.0;
+  m(1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(m.max_abs(), 9.0);
+  EXPECT_DOUBLE_EQ(Matrix{}.max_abs(), 0.0);
+}
+
+TEST(Matrix, FrobeniusDistance) {
+  Matrix a(1, 2);
+  Matrix b(1, 2);
+  a(0, 0) = 3.0;
+  b(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(a.frobenius_distance(b), 5.0);
+  EXPECT_THROW(a.frobenius_distance(Matrix(2, 2)), Error);
+}
+
+TEST(Matrix, SymmetrizeAveragesMirrors) {
+  Matrix m(2, 2);
+  m(0, 1) = 2.0;
+  m(1, 0) = 4.0;
+  m.symmetrize();
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+}  // namespace
+}  // namespace phmse::linalg

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimation/nongaussian.hpp"
+#include "estimation/update.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::est {
+namespace {
+
+NodeState one_atom_state(double prior_sigma = 1.0) {
+  NodeState st;
+  st.atom_begin = 0;
+  st.atom_end = 1;
+  st.x = {0, 0, 0};
+  st.reset_covariance(prior_sigma);
+  return st;
+}
+
+NodeState two_atom_state(double prior_sigma = 1.0) {
+  NodeState st;
+  st.atom_begin = 0;
+  st.atom_end = 2;
+  st.x = {0, 0, 0, 1.0, 0, 0};
+  st.reset_covariance(prior_sigma);
+  return st;
+}
+
+TEST(TruncatedNormal, FullLineRecoversOriginalMoments) {
+  double mean = 0.0;
+  double var = 0.0;
+  truncated_normal_moments(1.5, 2.0, -1e9, 1e9, mean, var);
+  EXPECT_NEAR(mean, 1.5, 1e-9);
+  EXPECT_NEAR(var, 4.0, 1e-6);
+}
+
+TEST(TruncatedNormal, SymmetricIntervalKeepsMeanShrinksVariance) {
+  double mean = 0.0;
+  double var = 0.0;
+  truncated_normal_moments(0.0, 1.0, -1.0, 1.0, mean, var);
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_LT(var, 1.0);
+  EXPECT_GT(var, 0.0);
+  // Known value: var of standard normal truncated to [-1,1] ~ 0.2912.
+  EXPECT_NEAR(var, 0.2912, 0.001);
+}
+
+TEST(TruncatedNormal, MatchesNumericalIntegration) {
+  // Property check across several (mu, interval) settings.
+  for (double mu : {-2.0, 0.0, 0.7}) {
+    for (double a : {-1.5, 0.2}) {
+      const double b = a + 1.3;
+      double mean = 0.0;
+      double var = 0.0;
+      truncated_normal_moments(mu, 0.8, a, b, mean, var);
+
+      // Numerical reference.
+      const int steps = 20000;
+      double z = 0.0;
+      double m1 = 0.0;
+      double m2 = 0.0;
+      for (int i = 0; i < steps; ++i) {
+        const double y = a + (b - a) * (i + 0.5) / steps;
+        const double t = (y - mu) / 0.8;
+        const double p = std::exp(-0.5 * t * t);
+        z += p;
+        m1 += y * p;
+        m2 += y * y * p;
+      }
+      m1 /= z;
+      m2 /= z;
+      EXPECT_NEAR(mean, m1, 1e-4) << "mu=" << mu << " a=" << a;
+      EXPECT_NEAR(var, m2 - m1 * m1, 1e-4) << "mu=" << mu << " a=" << a;
+    }
+  }
+}
+
+TEST(TruncatedNormal, FarOutsideClampsToNearestBound) {
+  double mean = 0.0;
+  double var = 0.0;
+  truncated_normal_moments(100.0, 0.5, 0.0, 1.0, mean, var);
+  EXPECT_NEAR(mean, 1.0, 1e-9);
+  EXPECT_LT(var, 0.01);
+}
+
+TEST(Mixture, SingleZeroMeanComponentEqualsGaussianUpdate) {
+  // The mixture path must reproduce the standard scalar Kalman update
+  // exactly when the mixture degenerates to one Gaussian.
+  cons::Constraint c;
+  c.kind = cons::Kind::kPosition;
+  c.atoms = {0, 0, 0, 0};
+  c.axis = 0;
+  c.observed = 0.7;
+  c.variance = 0.25;
+
+  NodeState via_gaussian = one_atom_state();
+  par::SerialContext ctx;
+  BatchUpdater up;
+  up.apply(ctx, via_gaussian, std::span<const cons::Constraint>(&c, 1));
+
+  NodeState via_mixture = one_atom_state();
+  MixtureConstraint mc;
+  mc.geometry = c;
+  mc.noise = {{1.0, 0.0, 0.5}};
+  NonGaussianUpdater ng;
+  ng.apply_mixture(ctx, via_mixture, mc);
+
+  for (std::size_t i = 0; i < via_gaussian.x.size(); ++i) {
+    EXPECT_NEAR(via_mixture.x[i], via_gaussian.x[i], 1e-12);
+  }
+  EXPECT_LT(via_mixture.c.frobenius_distance(via_gaussian.c), 1e-12);
+}
+
+TEST(Mixture, OutlierComponentLimitsTheUpdate) {
+  // Slab-and-spike noise: with an outlier component, a wild observation
+  // moves the estimate far less than a pure tight Gaussian would.
+  cons::Constraint c;
+  c.kind = cons::Kind::kPosition;
+  c.atoms = {0, 0, 0, 0};
+  c.axis = 0;
+  c.observed = 5.0;  // 5 sigma from the prior mean
+  c.variance = 0.01;
+
+  par::SerialContext ctx;
+  NodeState pure = one_atom_state();
+  BatchUpdater up;
+  up.apply(ctx, pure, std::span<const cons::Constraint>(&c, 1));
+
+  NodeState robust = one_atom_state();
+  MixtureConstraint mc;
+  mc.geometry = c;
+  mc.noise = {{0.9, 0.0, 0.1}, {0.1, 0.0, 10.0}};  // 10% outlier slab
+  NonGaussianUpdater ng;
+  ng.apply_mixture(ctx, robust, mc);
+
+  EXPECT_GT(pure.x[0], 4.5);    // the naive update swallows the outlier
+  EXPECT_LT(robust.x[0], 3.0);  // the mixture heavily discounts it
+}
+
+TEST(Mixture, DisagreeingComponentsCanInflateVariance) {
+  // A strongly bimodal noise model (calibration ambiguity): when the
+  // observation sits between the modes, the collapsed posterior variance
+  // along the gain direction can exceed the plain-Gaussian posterior's.
+  cons::Constraint c;
+  c.kind = cons::Kind::kPosition;
+  c.atoms = {0, 0, 0, 0};
+  c.axis = 0;
+  c.observed = 0.0;
+  c.variance = 0.04;
+
+  par::SerialContext ctx;
+  NodeState st = one_atom_state();
+  MixtureConstraint mc;
+  mc.geometry = c;
+  mc.noise = {{0.5, -2.0, 0.2}, {0.5, 2.0, 0.2}};
+  NonGaussianUpdater ng;
+  ng.apply_mixture(ctx, st, mc);
+
+  // Mean stays put by symmetry.
+  EXPECT_NEAR(st.x[0], 0.0, 1e-9);
+  // Variance along x exceeds what a single 0.2-sigma component would give.
+  NodeState single = one_atom_state();
+  mc.noise = {{1.0, 0.0, 0.2}};
+  ng.apply_mixture(ctx, single, mc);
+  EXPECT_GT(st.c(0, 0), single.c(0, 0));
+}
+
+TEST(Mixture, PreservesSymmetryAndUntouchedBlocks) {
+  cons::Constraint c;
+  c.kind = cons::Kind::kDistance;
+  c.atoms = {0, 1, 0, 0};
+  c.observed = 1.4;
+
+  par::SerialContext ctx;
+  NodeState st = two_atom_state();
+  MixtureConstraint mc;
+  mc.geometry = c;
+  mc.noise = {{0.7, 0.0, 0.1}, {0.3, 0.3, 0.5}};
+  NonGaussianUpdater ng;
+  ng.apply_mixture(ctx, st, mc);
+
+  for (Index i = 0; i < st.dim(); ++i) {
+    for (Index j = 0; j < st.dim(); ++j) {
+      EXPECT_NEAR(st.c(i, j), st.c(j, i), 1e-12);
+    }
+  }
+  // A distance along x leaves y/z marginals of both atoms at the prior.
+  EXPECT_NEAR(st.c(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(st.c(5, 5), 1.0, 1e-12);
+}
+
+TEST(Bound, WideBoundsAreInert) {
+  par::SerialContext ctx;
+  NodeState st = two_atom_state();
+  const NodeState before = st;
+  BoundConstraint b;
+  b.kind = cons::Kind::kDistance;
+  b.atoms = {0, 1, 0, 0};
+  b.lower = -100.0;
+  b.upper = 100.0;
+  b.tail_sigma = 0.1;
+  NonGaussianUpdater ng;
+  ng.apply_bound(ctx, st, b);
+  for (std::size_t i = 0; i < st.x.size(); ++i) {
+    EXPECT_NEAR(st.x[i], before.x[i], 1e-9);
+  }
+  EXPECT_LT(st.c.frobenius_distance(before.c), 1e-6);
+}
+
+TEST(Bound, ViolatedUpperBoundPullsInside) {
+  // Current distance 1.0, bound says <= 0.6: atoms must move closer.
+  par::SerialContext ctx;
+  NodeState st = two_atom_state(0.5);
+  BoundConstraint b;
+  b.kind = cons::Kind::kDistance;
+  b.atoms = {0, 1, 0, 0};
+  b.lower = 0.0;
+  b.upper = 0.6;
+  b.tail_sigma = 0.05;
+  NonGaussianUpdater ng;
+  for (int i = 0; i < 4; ++i) ng.apply_bound(ctx, st, b);
+  const double d = (st.position(1) - st.position(0)).norm();
+  EXPECT_LT(d, 0.9);
+}
+
+TEST(Bound, ViolatedLowerBoundPushesApart) {
+  par::SerialContext ctx;
+  NodeState st = two_atom_state(0.5);
+  BoundConstraint b;
+  b.kind = cons::Kind::kDistance;
+  b.atoms = {0, 1, 0, 0};
+  b.lower = 1.8;
+  b.upper = 5.0;
+  b.tail_sigma = 0.05;
+  NonGaussianUpdater ng;
+  for (int i = 0; i < 4; ++i) ng.apply_bound(ctx, st, b);
+  const double d = (st.position(1) - st.position(0)).norm();
+  EXPECT_GT(d, 1.2);
+}
+
+TEST(Bound, ReducesUncertaintyAlongTheMeasuredDirection) {
+  par::SerialContext ctx;
+  NodeState st = two_atom_state(1.0);
+  const double var_before = st.c(0, 0);
+  BoundConstraint b;
+  b.kind = cons::Kind::kDistance;
+  b.atoms = {0, 1, 0, 0};
+  b.lower = 0.9;
+  b.upper = 1.1;
+  b.tail_sigma = 0.05;
+  NonGaussianUpdater ng;
+  ng.apply_bound(ctx, st, b);
+  EXPECT_LT(st.c(0, 0), var_before);
+}
+
+TEST(Bound, BatchHelperAppliesAll) {
+  par::SerialContext ctx;
+  NodeState st = two_atom_state(0.5);
+  std::vector<BoundConstraint> bounds(3);
+  for (auto& b : bounds) {
+    b.kind = cons::Kind::kDistance;
+    b.atoms = {0, 1, 0, 0};
+    b.lower = 0.95;
+    b.upper = 1.05;
+    b.tail_sigma = 0.05;
+  }
+  NonGaussianUpdater ng;
+  ng.apply_bounds(ctx, st, bounds);
+  const double d = (st.position(1) - st.position(0)).norm();
+  EXPECT_NEAR(d, 1.0, 0.1);
+}
+
+TEST(Bound, RejectsBadIntervals) {
+  par::SerialContext ctx;
+  NodeState st = two_atom_state();
+  BoundConstraint b;
+  b.lower = 2.0;
+  b.upper = 1.0;
+  NonGaussianUpdater ng;
+  EXPECT_THROW(ng.apply_bound(ctx, st, b), phmse::Error);
+  b.lower = 0.0;
+  b.upper = 1.0;
+  b.tail_sigma = 0.0;
+  EXPECT_THROW(ng.apply_bound(ctx, st, b), phmse::Error);
+}
+
+}  // namespace
+}  // namespace phmse::est

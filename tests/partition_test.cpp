@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "parallel/partition.hpp"
+#include "support/check.hpp"
+
+namespace phmse::par {
+namespace {
+
+TEST(SplitEvenly, CoversRangeExactly) {
+  const auto parts = split_evenly(10, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], (Range{0, 4}));
+  EXPECT_EQ(parts[1], (Range{4, 7}));
+  EXPECT_EQ(parts[2], (Range{7, 10}));
+}
+
+TEST(SplitEvenly, SizesDifferByAtMostOne) {
+  for (Index n : {0, 1, 5, 17, 100, 101}) {
+    for (int p : {1, 2, 3, 7, 16}) {
+      const auto parts = split_evenly(n, p);
+      Index lo = n;
+      Index hi = 0;
+      Index total = 0;
+      for (const Range& r : parts) {
+        lo = std::min(lo, r.size());
+        hi = std::max(hi, r.size());
+        total += r.size();
+      }
+      EXPECT_EQ(total, n);
+      EXPECT_LE(hi - lo, 1) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(SplitEvenly, MorePartsThanElementsYieldsEmptyRanges) {
+  const auto parts = split_evenly(2, 5);
+  EXPECT_EQ(parts[0].size(), 1);
+  EXPECT_EQ(parts[1].size(), 1);
+  for (std::size_t i = 2; i < 5; ++i) EXPECT_TRUE(parts[i].empty());
+}
+
+TEST(EvenChunk, MatchesSplitEvenly) {
+  for (Index n : {0, 3, 10, 99}) {
+    for (int p : {1, 4, 8}) {
+      const auto parts = split_evenly(n, p);
+      for (int lane = 0; lane < p; ++lane) {
+        EXPECT_EQ(even_chunk(n, p, lane),
+                  parts[static_cast<std::size_t>(lane)]);
+      }
+    }
+  }
+}
+
+TEST(EvenChunk, RejectsBadLane) {
+  EXPECT_THROW(even_chunk(10, 2, 2), Error);
+  EXPECT_THROW(even_chunk(10, 2, -1), Error);
+  EXPECT_THROW(even_chunk(10, 0, 0), Error);
+}
+
+TEST(SplitWeighted, UniformWeightsBehaveLikeEven) {
+  std::vector<double> w(12, 1.0);
+  const auto parts = split_weighted(w, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  Index total = 0;
+  for (const Range& r : parts) total += r.size();
+  EXPECT_EQ(total, 12);
+  for (const Range& r : parts) {
+    EXPECT_GE(r.size(), 2);
+    EXPECT_LE(r.size(), 4);
+  }
+}
+
+TEST(SplitWeighted, HeavyPrefixGetsShortRange) {
+  // First element carries almost all the weight.
+  std::vector<double> w{100.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  const auto parts = split_weighted(w, 2);
+  EXPECT_EQ(parts[0].begin, 0);
+  EXPECT_LE(parts[0].size(), 2);
+  EXPECT_EQ(parts[1].end, 6);
+}
+
+TEST(SplitWeighted, RangesAreContiguousAndCover) {
+  std::vector<double> w{3, 1, 4, 1, 5, 9, 2, 6, 5, 3};
+  for (int p : {1, 2, 3, 5, 10}) {
+    const auto parts = split_weighted(w, p);
+    Index cursor = 0;
+    for (const Range& r : parts) {
+      EXPECT_EQ(r.begin, cursor);
+      cursor = r.end;
+    }
+    EXPECT_EQ(cursor, static_cast<Index>(w.size()));
+  }
+}
+
+TEST(SplitWeighted, RejectsNegativeWeights) {
+  std::vector<double> w{1.0, -1.0};
+  EXPECT_THROW(split_weighted(w, 2), Error);
+}
+
+}  // namespace
+}  // namespace phmse::par

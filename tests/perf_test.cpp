@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "perf/profile.hpp"
+
+namespace phmse::perf {
+namespace {
+
+TEST(Category, NamesMatchThePapersColumns) {
+  EXPECT_EQ(category_name(Category::kDenseSparse), "d-s");
+  EXPECT_EQ(category_name(Category::kCholesky), "chol");
+  EXPECT_EQ(category_name(Category::kSystemSolve), "sys");
+  EXPECT_EQ(category_name(Category::kMatMat), "m-m");
+  EXPECT_EQ(category_name(Category::kMatVec), "m-v");
+  EXPECT_EQ(category_name(Category::kVector), "vec");
+  EXPECT_EQ(category_name(Category::kOther), "other");
+}
+
+TEST(Category, AllCategoriesEnumeratesEverything) {
+  const auto all = all_categories();
+  EXPECT_EQ(all.size(), kNumCategories);
+  EXPECT_EQ(all.front(), Category::kDenseSparse);
+  EXPECT_EQ(all.back(), Category::kOther);
+}
+
+TEST(Profile, StartsEmptyAndAccumulates) {
+  Profile p;
+  EXPECT_DOUBLE_EQ(p.total(), 0.0);
+  p.add(Category::kMatVec, 1.5);
+  p.add(Category::kMatVec, 0.5);
+  p.add(Category::kCholesky, 0.25);
+  EXPECT_DOUBLE_EQ(p.time(Category::kMatVec), 2.0);
+  EXPECT_DOUBLE_EQ(p.time(Category::kCholesky), 0.25);
+  EXPECT_DOUBLE_EQ(p.total(), 2.25);
+}
+
+TEST(Profile, AdditionMergesCategories) {
+  Profile a;
+  a.add(Category::kVector, 1.0);
+  Profile b;
+  b.add(Category::kVector, 2.0);
+  b.add(Category::kMatMat, 3.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.time(Category::kVector), 3.0);
+  EXPECT_DOUBLE_EQ(a.time(Category::kMatMat), 3.0);
+}
+
+TEST(Profile, MaxWithTakesElementwiseMaximum) {
+  Profile a;
+  a.add(Category::kVector, 1.0);
+  a.add(Category::kMatMat, 5.0);
+  Profile b;
+  b.add(Category::kVector, 2.0);
+  b.add(Category::kMatMat, 3.0);
+  a.max_with(b);
+  EXPECT_DOUBLE_EQ(a.time(Category::kVector), 2.0);
+  EXPECT_DOUBLE_EQ(a.time(Category::kMatMat), 5.0);
+}
+
+TEST(Profile, ClearResets) {
+  Profile p;
+  p.add(Category::kOther, 1.0);
+  p.clear();
+  EXPECT_DOUBLE_EQ(p.total(), 0.0);
+}
+
+TEST(Profile, SummaryListsEveryCategory) {
+  Profile p;
+  p.add(Category::kDenseSparse, 1.25);
+  const std::string s = p.summary(2);
+  EXPECT_NE(s.find("d-s=1.25"), std::string::npos);
+  EXPECT_NE(s.find("chol=0.00"), std::string::npos);
+  EXPECT_NE(s.find("other=0.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace phmse::perf

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "constraints/helix_gen.hpp"
+#include "constraints/ribo_gen.hpp"
+#include "core/assign.hpp"
+#include "core/schedule.hpp"
+#include "core/work_model.hpp"
+#include "molecule/ribo30s.hpp"
+#include "molecule/rna_helix.hpp"
+#include "support/check.hpp"
+
+namespace phmse::core {
+namespace {
+
+Hierarchy prepared_helix(Index length) {
+  const mol::HelixModel model = mol::build_helix(length);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Hierarchy h = build_helix_hierarchy(model);
+  assign_constraints(h, set);
+  estimate_work(h, WorkModel{}, 16);
+  return h;
+}
+
+class ScheduleProcs : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, ScheduleProcs,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16, 20, 32));
+
+TEST_P(ScheduleProcs, HelixScheduleIsValid) {
+  Hierarchy h = prepared_helix(4);
+  assign_processors(h, GetParam());
+  EXPECT_NO_THROW(validate_schedule(h));
+  EXPECT_EQ(h.root().proc_first, 0);
+  EXPECT_EQ(h.root().proc_count, GetParam());
+}
+
+TEST_P(ScheduleProcs, EveryNodeHasAtLeastOneProcessor) {
+  Hierarchy h = prepared_helix(4);
+  assign_processors(h, GetParam());
+  h.for_each_post_order([&](const HierNode& node) {
+    EXPECT_GE(node.proc_count, 1);
+    EXPECT_GE(node.proc_first, 0);
+    EXPECT_LE(node.proc_first + node.proc_count, GetParam());
+  });
+}
+
+TEST(Schedule, PowerOfTwoHelixSplitsEvenly) {
+  Hierarchy h = prepared_helix(4);
+  assign_processors(h, 8);
+  // The root has two equal-work sub-helices: 4 processors each.
+  ASSERT_EQ(h.root().children.size(), 2u);
+  EXPECT_EQ(h.root().children[0]->proc_count, 4);
+  EXPECT_EQ(h.root().children[1]->proc_count, 4);
+}
+
+TEST(Schedule, OddProcessorCountForcesImbalance) {
+  // The static-scheduling weakness the paper reports: with 2 equal subtrees
+  // and 3 processors, one side gets 1 and the other 2.
+  Hierarchy h = prepared_helix(4);
+  assign_processors(h, 3);
+  ASSERT_EQ(h.root().children.size(), 2u);
+  const int c0 = h.root().children[0]->proc_count;
+  const int c1 = h.root().children[1]->proc_count;
+  EXPECT_EQ(c0 + c1, 3);
+  EXPECT_EQ(std::abs(c0 - c1), 1);
+}
+
+TEST(Schedule, SingleProcessorSharedByAll) {
+  Hierarchy h = prepared_helix(2);
+  assign_processors(h, 1);
+  h.for_each_post_order([](const HierNode& node) {
+    EXPECT_EQ(node.proc_first, 0);
+    EXPECT_EQ(node.proc_count, 1);
+  });
+}
+
+TEST(Schedule, MoreProcessorsThanLeavesStillValid) {
+  Hierarchy h = prepared_helix(1);  // 4 leaves
+  assign_processors(h, 32);
+  validate_schedule(h);
+  // All 32 processors must be covered by the root.
+  EXPECT_EQ(h.root().proc_count, 32);
+}
+
+TEST(Schedule, RiboHighBranchingDividesNearEvenly) {
+  const mol::Ribo30sModel model = mol::build_ribo30s();
+  const cons::ConstraintSet set = cons::generate_ribo_constraints(model);
+  Hierarchy h = build_ribo_hierarchy(model);
+  assign_constraints(h, set);
+  estimate_work(h, WorkModel{}, 16);
+  assign_processors(h, 12);
+  validate_schedule(h);
+
+  // The domains' processor counts should roughly track their work share.
+  const double total = h.root().subtree_work;
+  for (const auto& domain : h.root().children) {
+    const double share = domain->subtree_work / total;
+    const double procs = static_cast<double>(domain->proc_count) / 12.0;
+    EXPECT_NEAR(procs, share, 0.25) << domain->name;
+  }
+}
+
+TEST(Schedule, WorkHeavySubtreeGetsMoreProcessors) {
+  // Hand-built tree: one child carries 3x the work of the other.
+  auto root = std::make_unique<HierNode>();
+  root->name = "root";
+  root->atom_begin = 0;
+  root->atom_end = 10;
+  auto light = std::make_unique<HierNode>();
+  light->name = "light";
+  light->atom_begin = 0;
+  light->atom_end = 5;
+  light->own_work = light->subtree_work = 1.0;
+  auto heavy = std::make_unique<HierNode>();
+  heavy->name = "heavy";
+  heavy->atom_begin = 5;
+  heavy->atom_end = 10;
+  heavy->own_work = heavy->subtree_work = 3.0;
+  root->children.push_back(std::move(light));
+  root->children.push_back(std::move(heavy));
+  root->subtree_work = 4.0;
+  Hierarchy h(std::move(root));
+
+  assign_processors(h, 8);
+  validate_schedule(h);
+  const HierNode* heavy_node = h.root().children[1].get();
+  if (heavy_node->name != "heavy") heavy_node = h.root().children[0].get();
+  EXPECT_EQ(heavy_node->proc_count, 6);
+}
+
+TEST(Schedule, DescribeMentionsProcessorRanges) {
+  Hierarchy h = prepared_helix(1);
+  assign_processors(h, 4);
+  const std::string d = describe_schedule(h);
+  EXPECT_NE(d.find("procs=[0,4)"), std::string::npos);
+}
+
+TEST(Schedule, RejectsNonPositiveProcessorCount) {
+  Hierarchy h = prepared_helix(1);
+  EXPECT_THROW(assign_processors(h, 0), phmse::Error);
+}
+
+}  // namespace
+}  // namespace phmse::core

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "simarch/machine.hpp"
+#include "simarch/sim_context.hpp"
+#include "support/check.hpp"
+
+namespace phmse::simarch {
+namespace {
+
+using par::KernelStats;
+using perf::Category;
+
+TEST(MachineConfig, PresetsMatchThePaperPlatforms) {
+  const MachineConfig dash = dash32();
+  EXPECT_EQ(dash.processors, 32);
+  EXPECT_EQ(dash.procs_per_cluster, 4);  // 8 clusters of 4
+  EXPECT_EQ(dash.layout, MemoryLayout::kDistributed);
+
+  const MachineConfig ch = challenge16();
+  EXPECT_EQ(ch.processors, 16);
+  EXPECT_EQ(ch.layout, MemoryLayout::kCentralized);
+  // Challenge CPUs are ~3x faster (100 MHz R4400 vs 33 MHz R3000).
+  EXPECT_GT(ch.flops_per_sec, 2.0 * dash.flops_per_sec);
+}
+
+TEST(ClustersSpanned, CountsCorrectly) {
+  const MachineConfig dash = dash32();
+  EXPECT_EQ(clusters_spanned(dash, 0, 1), 1);
+  EXPECT_EQ(clusters_spanned(dash, 0, 4), 1);
+  EXPECT_EQ(clusters_spanned(dash, 0, 5), 2);
+  EXPECT_EQ(clusters_spanned(dash, 3, 2), 2);  // straddles a boundary
+  EXPECT_EQ(clusters_spanned(dash, 0, 32), 8);
+  EXPECT_THROW(clusters_spanned(dash, 30, 4), Error);
+}
+
+TEST(ChunkTime, ComputeScalesWithFlops) {
+  const MachineConfig cfg = dash32();
+  KernelStats a;
+  a.flops = 1e6;
+  KernelStats b;
+  b.flops = 2e6;
+  EXPECT_NEAR(chunk_time(cfg, b, 1, 1) / chunk_time(cfg, a, 1, 1), 2.0, 1e-9);
+}
+
+TEST(ChunkTime, RemoteMissesCostMoreAcrossClusters) {
+  const MachineConfig cfg = dash32();
+  KernelStats st;
+  st.bytes_irregular = 1e6;
+  const double local = chunk_time(cfg, st, 1, 32);
+  const double spread = chunk_time(cfg, st, 8, 32);
+  EXPECT_GT(spread, 2.0 * local);
+}
+
+TEST(ChunkTime, CentralizedMachineIgnoresClusterSpan) {
+  const MachineConfig cfg = challenge16();
+  KernelStats st;
+  st.bytes_stream = 1e6;
+  EXPECT_DOUBLE_EQ(chunk_time(cfg, st, 1, 16), chunk_time(cfg, st, 4, 16));
+}
+
+TEST(ChunkTime, BusContentionGrowsWithActiveProcessors) {
+  const MachineConfig cfg = challenge16();
+  KernelStats st;
+  st.bytes_stream = 1e6;
+  EXPECT_GT(chunk_time(cfg, st, 1, 16), chunk_time(cfg, st, 1, 1));
+}
+
+TEST(ChunkTime, CacheCapacityPenalizesOverflowingResidentSets) {
+  MachineConfig cfg = dash32();
+  KernelStats st;
+  st.resident_bytes = 1e6;   // 1 MB tile
+  st.resident_sweeps = 10.0;
+
+  // Disabled capacity model: resident reuse is free.
+  cfg.cache_bytes_per_proc = 0.0;
+  const double free_reuse = chunk_time(cfg, st, 1, 1);
+
+  // Tile fits: still free.
+  cfg.cache_bytes_per_proc = 2e6;
+  EXPECT_DOUBLE_EQ(chunk_time(cfg, st, 1, 1), free_reuse);
+
+  // Tile overflows 4x: 3/4 of it re-fetched on each of the 9 extra sweeps.
+  cfg.cache_bytes_per_proc = 0.25e6;
+  const double overflowing = chunk_time(cfg, st, 1, 1);
+  EXPECT_GT(overflowing, free_reuse);
+  const double expected_extra_lines = 9.0 * 1e6 * 0.75 / cfg.line_bytes;
+  EXPECT_NEAR(overflowing - free_reuse,
+              expected_extra_lines * cfg.t_miss_local, 1e-9);
+}
+
+TEST(ChunkTime, SingleSweepNeverPaysCapacityPenalty) {
+  MachineConfig cfg = dash32();
+  cfg.cache_bytes_per_proc = 1024.0;
+  KernelStats st;
+  st.resident_bytes = 1e9;
+  st.resident_sweeps = 1.0;  // streamed once: compulsory traffic only
+  EXPECT_DOUBLE_EQ(chunk_time(cfg, st, 1, 1), 0.0);
+}
+
+TEST(BarrierTime, FreeForSoloTeamAndGrowsWithSize) {
+  const MachineConfig cfg = dash32();
+  EXPECT_DOUBLE_EQ(barrier_time(cfg, 1), 0.0);
+  EXPECT_GT(barrier_time(cfg, 2), 0.0);
+  EXPECT_GT(barrier_time(cfg, 32), barrier_time(cfg, 4));
+}
+
+TEST(SimMachine, StartsAtZeroAndTracksClocks) {
+  SimMachine m(generic(4));
+  EXPECT_DOUBLE_EQ(m.elapsed(), 0.0);
+  m.set_clock(2, 1.5);
+  EXPECT_DOUBLE_EQ(m.clock(2), 1.5);
+  EXPECT_DOUBLE_EQ(m.elapsed(), 1.5);
+  EXPECT_DOUBLE_EQ(m.max_clock(0, 2), 0.0);
+}
+
+TEST(SimMachine, SyncRangeJoinsClocks) {
+  SimMachine m(generic(4));
+  m.set_clock(0, 1.0);
+  m.set_clock(1, 3.0);
+  const double t = m.sync_range(0, 2);
+  EXPECT_DOUBLE_EQ(t, 3.0);
+  EXPECT_DOUBLE_EQ(m.clock(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.clock(2), 0.0);  // untouched
+}
+
+TEST(SimMachine, ResetClearsState) {
+  SimMachine m(generic(2));
+  m.set_clock(0, 5.0);
+  m.proc_profile(0).add(Category::kVector, 1.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.elapsed(), 0.0);
+  EXPECT_DOUBLE_EQ(m.reported_profile().time(Category::kVector), 0.0);
+}
+
+TEST(SimContext, ParallelRunsBodyAndAdvancesTeamUniformly) {
+  SimMachine m(generic(4));
+  SimContext ctx(m, 0, 4);
+  int covered = 0;
+  ctx.parallel(
+      Category::kMatVec, 100,
+      [](Index b, Index e) {
+        KernelStats st;
+        st.flops = static_cast<double>(e - b) * 1000.0;
+        return st;
+      },
+      [&](Index b, Index e, int) { covered += static_cast<int>(e - b); });
+  EXPECT_EQ(covered, 100);
+  // All team members advanced identically (SPMD barrier convention).
+  EXPECT_DOUBLE_EQ(m.clock(0), m.clock(3));
+  EXPECT_GT(m.clock(0), 0.0);
+}
+
+TEST(SimContext, WiderTeamIsFasterOnBigKernels) {
+  auto run = [](int procs) {
+    SimMachine m(generic(8));
+    SimContext ctx(m, 0, procs);
+    ctx.parallel(
+        Category::kMatVec, 1000,
+        [](Index b, Index e) {
+          KernelStats st;
+          st.flops = static_cast<double>(e - b) * 1e5;
+          return st;
+        },
+        [](Index, Index, int) {});
+    return m.elapsed();
+  };
+  const double t1 = run(1);
+  const double t8 = run(8);
+  EXPECT_GT(t1 / t8, 6.0);  // near-linear for compute-bound work
+}
+
+TEST(SimContext, TinyKernelsFloorAtBarrierCost) {
+  auto run = [](int procs) {
+    SimMachine m(generic(8));
+    SimContext ctx(m, 0, procs);
+    for (int i = 0; i < 100; ++i) {
+      ctx.parallel(
+          Category::kVector, 64,
+          [](Index b, Index e) {
+            KernelStats st;
+            st.flops = static_cast<double>(e - b);
+            return st;
+          },
+          [](Index, Index, int) {});
+    }
+    return m.elapsed();
+  };
+  const double t1 = run(1);
+  const double t8 = run(8);
+  // The paper's vec category: little to gain, barrier overhead dominates.
+  EXPECT_LT(t1 / t8, 2.0);
+}
+
+TEST(SimContext, SequentialChargesWholeTeam) {
+  SimMachine m(generic(4));
+  SimContext ctx(m, 0, 4);
+  ctx.sequential(
+      Category::kCholesky,
+      [](Index, Index) {
+        KernelStats st;
+        st.flops = 1e6;
+        return st;
+      },
+      [] {});
+  EXPECT_DOUBLE_EQ(m.clock(0), m.clock(3));
+  EXPECT_GT(m.proc_profile(3).time(Category::kCholesky), 0.0);
+}
+
+TEST(SimContext, DisjointTeamsAdvanceIndependently) {
+  SimMachine m(generic(4));
+  SimContext left(m, 0, 2);
+  SimContext right(m, 2, 2);
+  left.parallel(
+      Category::kMatVec, 10,
+      [](Index, Index) {
+        KernelStats st;
+        st.flops = 1e6;
+        return st;
+      },
+      [](Index, Index, int) {});
+  EXPECT_GT(m.clock(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.clock(2), 0.0);
+  right.parallel(
+      Category::kMatVec, 10,
+      [](Index, Index) {
+        KernelStats st;
+        st.flops = 2e6;
+        return st;
+      },
+      [](Index, Index, int) {});
+  EXPECT_GT(m.clock(2), m.clock(0));
+}
+
+TEST(SimContext, ReportedProfileIsMaxOverProcessors) {
+  SimMachine m(generic(4));
+  SimContext left(m, 0, 1);
+  SimContext right(m, 1, 1);
+  auto cost = [](double f) {
+    return [f](Index, Index) {
+      KernelStats st;
+      st.flops = f;
+      return st;
+    };
+  };
+  left.parallel(Category::kMatVec, 1, cost(1e6), [](Index, Index, int) {});
+  right.parallel(Category::kMatVec, 1, cost(3e6), [](Index, Index, int) {});
+  const double reported = m.reported_profile().time(Category::kMatVec);
+  EXPECT_DOUBLE_EQ(reported, m.proc_profile(1).time(Category::kMatVec));
+}
+
+}  // namespace
+}  // namespace phmse::simarch

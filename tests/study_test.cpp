@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "constraints/helix_gen.hpp"
+#include "core/assign.hpp"
+#include "core/schedule.hpp"
+#include "core/study.hpp"
+#include "core/work_model.hpp"
+#include "molecule/rna_helix.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::core {
+namespace {
+
+struct Fixture {
+  mol::HelixModel model = mol::build_helix(2);
+  cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  linalg::Vector initial;
+
+  Fixture() {
+    Rng rng(5);
+    initial = model.topology.true_state();
+    for (auto& v : initial) v += rng.gaussian(0.0, 0.2);
+  }
+
+  ProblemFactory factory() {
+    return [this](int procs) {
+      Hierarchy h = build_helix_hierarchy(model);
+      assign_constraints(h, set);
+      estimate_work(h, WorkModel{}, 16);
+      assign_processors(h, procs);
+      return h;
+    };
+  }
+};
+
+TEST(SpeedupStudy, FirstRowIsBaseline) {
+  Fixture f;
+  const SpeedupStudy study =
+      run_speedup_study(f.factory(), f.initial, HierSolveOptions{},
+                        simarch::generic(8), {1, 2, 4, 8});
+  ASSERT_EQ(study.rows.size(), 4u);
+  EXPECT_EQ(study.rows[0].processors, 1);
+  EXPECT_DOUBLE_EQ(study.rows[0].speedup, 1.0);
+  EXPECT_EQ(study.machine, "generic");
+}
+
+TEST(SpeedupStudy, SpeedupGrowsAndEfficiencyBounded) {
+  Fixture f;
+  const SpeedupStudy study =
+      run_speedup_study(f.factory(), f.initial, HierSolveOptions{},
+                        simarch::generic(8), {1, 2, 4, 8});
+  for (std::size_t i = 1; i < study.rows.size(); ++i) {
+    EXPECT_GT(study.rows[i].speedup, study.rows[i - 1].speedup * 0.9);
+    EXPECT_LE(study.efficiency(i), 1.05);
+    EXPECT_GT(study.efficiency(i), 0.2);
+  }
+}
+
+TEST(SpeedupStudy, SkipsCountsBeyondTheMachine) {
+  Fixture f;
+  const SpeedupStudy study =
+      run_speedup_study(f.factory(), f.initial, HierSolveOptions{},
+                        simarch::generic(4), {1, 2, 8, 16});
+  ASSERT_EQ(study.rows.size(), 2u);
+  EXPECT_EQ(study.rows.back().processors, 2);
+}
+
+TEST(SpeedupStudy, ThrowsWhenNothingFits) {
+  Fixture f;
+  EXPECT_THROW(run_speedup_study(f.factory(), f.initial, HierSolveOptions{},
+                                 simarch::generic(4), {8, 16}),
+               phmse::Error);
+}
+
+TEST(SpeedupStudy, BreakdownPopulated) {
+  Fixture f;
+  const SpeedupStudy study =
+      run_speedup_study(f.factory(), f.initial, HierSolveOptions{},
+                        simarch::dash32(), {1});
+  EXPECT_GT(study.rows[0].breakdown.time(perf::Category::kMatVec), 0.0);
+  EXPECT_NEAR(study.rows[0].time, study.rows[0].breakdown.total(), 1e-9);
+}
+
+TEST(SpeedupStudy, FormatHasPaperColumns) {
+  Fixture f;
+  const SpeedupStudy study =
+      run_speedup_study(f.factory(), f.initial, HierSolveOptions{},
+                        simarch::generic(4), {1, 4});
+  const std::string table = format_speedup_table(study);
+  for (const char* col : {"NP", "time", "spdup", "d-s", "chol", "sys",
+                          "m-m", "m-v", "vec"}) {
+    EXPECT_NE(table.find(col), std::string::npos) << col;
+  }
+}
+
+}  // namespace
+}  // namespace phmse::core

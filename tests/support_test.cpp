@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace phmse {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(PHMSE_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Check, FailingCheckThrowsError) {
+  EXPECT_THROW(PHMSE_CHECK(false, "intentional"), Error);
+}
+
+TEST(Check, ErrorMessageContainsExpressionAndMessage) {
+  try {
+    PHMSE_CHECK(2 > 3, "two is not greater");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("two is not greater"), std::string::npos);
+  }
+}
+
+TEST(Env, StringFallsBackWhenUnset) {
+  ::unsetenv("PHMSE_TEST_UNSET");
+  EXPECT_EQ(env_string("PHMSE_TEST_UNSET", "dflt"), "dflt");
+}
+
+TEST(Env, StringReadsValue) {
+  ::setenv("PHMSE_TEST_STR", "hello", 1);
+  EXPECT_EQ(env_string("PHMSE_TEST_STR", "dflt"), "hello");
+  ::unsetenv("PHMSE_TEST_STR");
+}
+
+TEST(Env, LongParsesAndFallsBackOnGarbage) {
+  ::setenv("PHMSE_TEST_LONG", "42", 1);
+  EXPECT_EQ(env_long("PHMSE_TEST_LONG", 7), 42);
+  ::setenv("PHMSE_TEST_LONG", "4x2", 1);
+  EXPECT_EQ(env_long("PHMSE_TEST_LONG", 7), 7);
+  ::unsetenv("PHMSE_TEST_LONG");
+}
+
+TEST(Env, DoubleParses) {
+  ::setenv("PHMSE_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("PHMSE_TEST_DBL", 1.0), 2.5);
+  ::unsetenv("PHMSE_TEST_DBL");
+}
+
+TEST(Env, FlagRecognizesTruthyForms) {
+  for (const char* v : {"1", "true", "YES", "On"}) {
+    ::setenv("PHMSE_TEST_FLAG", v, 1);
+    EXPECT_TRUE(env_flag("PHMSE_TEST_FLAG")) << v;
+  }
+  ::setenv("PHMSE_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("PHMSE_TEST_FLAG"));
+  ::unsetenv("PHMSE_TEST_FLAG");
+}
+
+TEST(Rng, IsDeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.gaussian(), b.gaussian());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.gaussian() != b.gaussian()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, GaussianMomentsAreSane) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(1.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.gaussian(), child.gaussian());
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"NP", "time"});
+  t.add_row({"1", "483.22"});
+  t.add_row({"32", "20.00"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("NP"), std::string::npos);
+  EXPECT_NE(s.find("483.22"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRowArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), Error);
+}
+
+TEST(Table, NumericRowUsesPrecision) {
+  Table t({"x"});
+  t.add_numeric_row(std::vector<double>{1.23456789}, 3);
+  EXPECT_NE(t.str().find("1.235"), std::string::npos);
+}
+
+TEST(Table, FormatFixedPadsPrecision) {
+  EXPECT_EQ(format_fixed(2.0, 5), "2.00000");
+  EXPECT_EQ(format_fixed(-1.5, 2), "-1.50");
+}
+
+}  // namespace
+}  // namespace phmse

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "parallel/exec.hpp"
+#include "parallel/team.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/check.hpp"
+
+namespace phmse::par {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  Latch done(1);
+  pool.submit(0, [&] {
+    ++hits;
+    done.count_down();
+  });
+  done.wait();
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, TasksOnSameWorkerRunInOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  Latch done(3);
+  for (int i = 0; i < 3; ++i) {
+    pool.submit(0, [&, i] {
+      order.push_back(i);  // single worker: no race
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPool, DistinctWorkersBothRun) {
+  ThreadPool pool(3);
+  std::atomic<int> hits{0};
+  Latch done(3);
+  for (int w = 0; w < 3; ++w) {
+    pool.submit(w, [&] {
+      ++hits;
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(hits.load(), 3);
+}
+
+TEST(ThreadPool, RejectsOutOfRangeWorker) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.submit(2, [] {}), Error);
+  EXPECT_THROW(pool.submit(-1, [] {}), Error);
+}
+
+TEST(ThreadPool, DrainsPendingTasksOnDestruction) {
+  std::atomic<int> hits{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit(0, [&] { ++hits; });
+    }
+  }
+  EXPECT_EQ(hits.load(), 50);
+}
+
+TEST(Latch, WaitReturnsAfterCountDowns) {
+  Latch latch(2);
+  std::atomic<bool> released{false};
+  std::thread t([&] {
+    latch.wait();
+    released = true;
+  });
+  latch.count_down();
+  EXPECT_FALSE(released.load());
+  latch.count_down();
+  t.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(SerialContext, RunsWholeRangeOnce) {
+  SerialContext ctx;
+  std::vector<int> hits(10, 0);
+  ctx.parallel(
+      perf::Category::kVector, 10,
+      [](Index, Index) { return KernelStats{}; },
+      [&](Index b, Index e, int lane) {
+        EXPECT_EQ(lane, 0);
+        for (Index i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+      });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(SerialContext, AccumulatesProfileTime) {
+  SerialContext ctx;
+  ctx.sequential(
+      perf::Category::kCholesky, [](Index, Index) { return KernelStats{}; },
+      [] {
+        volatile double x = 0.0;
+        for (int i = 0; i < 100000; ++i) x = x + 1.0;
+      });
+  EXPECT_GT(ctx.profile().time(perf::Category::kCholesky), 0.0);
+  EXPECT_DOUBLE_EQ(ctx.profile().time(perf::Category::kMatMat), 0.0);
+}
+
+TEST(TeamContext, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  TeamContext ctx(pool, 0, 4);
+  std::vector<std::atomic<int>> hits(100);
+  ctx.parallel(
+      perf::Category::kVector, 100,
+      [](Index, Index) { return KernelStats{}; },
+      [&](Index b, Index e, int) {
+        for (Index i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+      });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TeamContext, LanesSeeDistinctIds) {
+  ThreadPool pool(4);
+  TeamContext ctx(pool, 0, 4);
+  std::array<std::atomic<int>, 4> lane_hits{};
+  ctx.parallel(
+      perf::Category::kVector, 400,
+      [](Index, Index) { return KernelStats{}; },
+      [&](Index, Index, int lane) {
+        lane_hits[static_cast<std::size_t>(lane)]++;
+      });
+  for (auto& h : lane_hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TeamContext, SubRangeTeamOnlyUsesItsWorkers) {
+  ThreadPool pool(4);
+  // Team over workers [2,4): must not deadlock or touch workers 0-1.
+  TeamContext ctx(pool, 2, 2);
+  std::atomic<int> count{0};
+  ctx.parallel(
+      perf::Category::kVector, 50,
+      [](Index, Index) { return KernelStats{}; },
+      [&](Index b, Index e, int) { count += static_cast<int>(e - b); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(TeamContext, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  TeamContext ctx(pool, 0, 4);
+  // n < width: the body must still cover everything (single lane).
+  std::vector<int> hits(3, 0);
+  ctx.parallel(
+      perf::Category::kVector, 3,
+      [](Index, Index) { return KernelStats{}; },
+      [&](Index b, Index e, int) {
+        for (Index i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+      });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(TeamContext, RejectsRangeBeyondPool) {
+  ThreadPool pool(2);
+  EXPECT_THROW(TeamContext(pool, 1, 2), Error);
+  EXPECT_THROW(TeamContext(pool, 0, 0), Error);
+}
+
+TEST(TeamContext, SequentialRunsOnCallingLane) {
+  ThreadPool pool(2);
+  TeamContext ctx(pool, 0, 2);
+  int value = 0;
+  ctx.sequential(
+      perf::Category::kCholesky, [](Index, Index) { return KernelStats{}; },
+      [&] { value = 42; });
+  EXPECT_EQ(value, 42);
+}
+
+}  // namespace
+}  // namespace phmse::par

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "molecule/topology.hpp"
+#include "molecule/xyz_io.hpp"
+#include "support/check.hpp"
+
+namespace phmse::mol {
+namespace {
+
+TEST(Topology, AddAtomAssignsSequentialIds) {
+  Topology t;
+  EXPECT_EQ(t.add_atom("a", {1, 2, 3}), 0);
+  EXPECT_EQ(t.add_atom("b", {4, 5, 6}), 1);
+  EXPECT_EQ(t.size(), 2);
+  EXPECT_EQ(t.atom(1).label, "b");
+  EXPECT_DOUBLE_EQ(t.atom(0).position.z, 3.0);
+}
+
+TEST(Topology, TrueStateInterleavesCoordinates) {
+  Topology t;
+  t.add_atom("a", {1, 2, 3});
+  t.add_atom("b", {4, 5, 6});
+  const auto x = t.true_state();
+  ASSERT_EQ(x.size(), 6u);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+  EXPECT_DOUBLE_EQ(x[3], 4.0);
+  EXPECT_DOUBLE_EQ(x[5], 6.0);
+}
+
+TEST(Topology, PositionsFromStateRoundTrips) {
+  Topology t;
+  t.add_atom("a", {1, 2, 3});
+  t.add_atom("b", {-1, 0, 1});
+  const auto pos = t.positions_from_state(t.true_state());
+  EXPECT_DOUBLE_EQ(pos[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(pos[1].z, 1.0);
+}
+
+TEST(Topology, PositionsFromStateChecksDimension) {
+  Topology t;
+  t.add_atom("a", {0, 0, 0});
+  linalg::Vector wrong(5, 0.0);
+  EXPECT_THROW(t.positions_from_state(wrong), Error);
+}
+
+TEST(Topology, RmsdZeroAtTruthAndPositiveOff) {
+  Topology t;
+  t.add_atom("a", {0, 0, 0});
+  t.add_atom("b", {1, 0, 0});
+  EXPECT_DOUBLE_EQ(t.rmsd_to_truth(t.true_state()), 0.0);
+  auto x = t.true_state();
+  x[0] += 2.0;  // move atom a by 2 in x
+  EXPECT_NEAR(t.rmsd_to_truth(x), std::sqrt(4.0 / 2.0), 1e-12);
+}
+
+TEST(XyzIo, WriteThenReadRoundTrips) {
+  Topology t;
+  t.add_atom("C1", {1.5, -2.25, 0.125});
+  t.add_atom("N2", {0, 1, 2});
+  std::stringstream ss;
+  write_xyz(ss, t, "test comment");
+  const Topology back = read_xyz(ss);
+  ASSERT_EQ(back.size(), 2);
+  EXPECT_EQ(back.atom(0).label, "C1");
+  EXPECT_DOUBLE_EQ(back.atom(0).position.y, -2.25);
+  EXPECT_DOUBLE_EQ(back.atom(1).position.z, 2.0);
+}
+
+TEST(XyzIo, ReadRejectsTruncatedInput) {
+  std::stringstream ss("3\ncomment\nA 1 2 3\n");
+  EXPECT_THROW(read_xyz(ss), Error);
+}
+
+}  // namespace
+}  // namespace phmse::mol

@@ -1,0 +1,154 @@
+// Parameterized property sweeps of the Fig.-1 update: invariants that
+// must hold across batch sizes, problem sizes and random data.
+#include <gtest/gtest.h>
+
+#include "constraints/set.hpp"
+#include "estimation/update.hpp"
+#include "linalg/blas.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::est {
+namespace {
+
+using cons::Constraint;
+using cons::Kind;
+
+NodeState random_chain_state(Index atoms, double prior, Rng& rng) {
+  NodeState st;
+  st.atom_begin = 0;
+  st.atom_end = atoms;
+  st.x.resize(static_cast<std::size_t>(3 * atoms));
+  for (Index a = 0; a < atoms; ++a) {
+    st.x[static_cast<std::size_t>(3 * a)] = 1.4 * static_cast<double>(a);
+    st.x[static_cast<std::size_t>(3 * a + 1)] = rng.gaussian(0.0, 0.3);
+    st.x[static_cast<std::size_t>(3 * a + 2)] = rng.gaussian(0.0, 0.3);
+  }
+  st.reset_covariance(prior);
+  return st;
+}
+
+cons::ConstraintSet random_constraints(const NodeState& st, Index count,
+                                       Rng& rng) {
+  cons::ConstraintSet set;
+  const Index atoms = st.num_atoms();
+  for (Index i = 0; i < count; ++i) {
+    Constraint c;
+    if (i % 5 == 4) {
+      c.kind = Kind::kPosition;
+      c.atoms = {rng.uniform_int(0, atoms - 1), 0, 0, 0};
+      c.axis = static_cast<int>(rng.uniform_int(0, 2));
+      c.observed = rng.gaussian(0.0, 2.0);
+      c.variance = 0.25;
+    } else {
+      c.kind = Kind::kDistance;
+      Index a = rng.uniform_int(0, atoms - 1);
+      Index b = rng.uniform_int(0, atoms - 1);
+      if (a == b) b = (b + 1) % atoms;
+      c.atoms = {a, b, 0, 0};
+      c.observed = 1.0 + rng.uniform(0.0, 3.0);
+      c.variance = 0.04;
+    }
+    set.add(c);
+  }
+  return set;
+}
+
+class BatchSweep : public ::testing::TestWithParam<Index> {};
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, BatchSweep,
+                         ::testing::Values<Index>(1, 2, 3, 7, 16, 33, 64));
+
+TEST_P(BatchSweep, CovarianceStaysSymmetricPositiveDefinite) {
+  Rng rng(40 + static_cast<std::uint64_t>(GetParam()));
+  NodeState st = random_chain_state(10, 1.0, rng);
+  const cons::ConstraintSet set = random_constraints(st, 60, rng);
+
+  par::SerialContext ctx;
+  BatchUpdater up;
+  up.apply_all(ctx, st, set, GetParam(), 8);
+
+  // Symmetric to round-off...
+  for (Index i = 0; i < st.dim(); ++i) {
+    for (Index j = i + 1; j < st.dim(); ++j) {
+      EXPECT_NEAR(st.c(i, j), st.c(j, i), 1e-10);
+    }
+  }
+  // ...and positive definite: Cholesky succeeds after exact
+  // symmetrization.
+  linalg::Matrix c = st.c;
+  c.symmetrize();
+  EXPECT_NO_THROW(linalg::cholesky_serial(c));
+}
+
+TEST_P(BatchSweep, EveryMarginalVarianceWithinPrior) {
+  Rng rng(60 + static_cast<std::uint64_t>(GetParam()));
+  NodeState st = random_chain_state(8, 2.0, rng);
+  const cons::ConstraintSet set = random_constraints(st, 40, rng);
+  par::SerialContext ctx;
+  BatchUpdater up;
+  up.apply_all(ctx, st, set, GetParam(), 0);
+  for (Index i = 0; i < st.dim(); ++i) {
+    EXPECT_GT(st.c(i, i), 0.0);
+    EXPECT_LE(st.c(i, i), 4.0 + 1e-9);  // prior variance
+  }
+}
+
+TEST_P(BatchSweep, LinearDataGivesBatchingInvariantPosterior) {
+  // For purely linear constraints the posterior is independent of how the
+  // sequence is batched (information is additive).
+  Rng rng(80);
+  NodeState reference = random_chain_state(6, 1.5, rng);
+  cons::ConstraintSet set;
+  Rng crng(81);
+  for (int i = 0; i < 30; ++i) {
+    Constraint c;
+    c.kind = Kind::kPosition;
+    c.atoms = {crng.uniform_int(0, 5), 0, 0, 0};
+    c.axis = static_cast<int>(crng.uniform_int(0, 2));
+    c.observed = crng.gaussian(0.0, 1.0);
+    c.variance = 0.2 + crng.uniform(0.0, 1.0);
+    set.add(c);
+  }
+
+  par::SerialContext ctx;
+  BatchUpdater up;
+  NodeState baseline = reference;
+  up.apply_all(ctx, baseline, set, 1, 0);
+
+  NodeState batched = reference;
+  up.apply_all(ctx, batched, set, GetParam(), 0);
+
+  for (std::size_t i = 0; i < baseline.x.size(); ++i) {
+    EXPECT_NEAR(batched.x[i], baseline.x[i], 1e-9);
+  }
+  EXPECT_LT(batched.c.frobenius_distance(baseline.c), 1e-8);
+}
+
+TEST_P(BatchSweep, RepeatedIdenticalMeasurementsConcentrate) {
+  // Applying the same linear measurement k times shrinks the variance as
+  // prior*r/(r + k*prior): check against the closed form.
+  const double prior = 1.0;
+  const double r = 0.5;
+  Rng rng(90);
+  NodeState st = random_chain_state(2, prior, rng);
+  cons::ConstraintSet set;
+  const Index k = GetParam();
+  for (Index i = 0; i < k; ++i) {
+    Constraint c;
+    c.kind = Kind::kPosition;
+    c.atoms = {0, 0, 0, 0};
+    c.axis = 0;
+    c.observed = 3.0;
+    c.variance = r;
+    set.add(c);
+  }
+  par::SerialContext ctx;
+  BatchUpdater up;
+  up.apply_all(ctx, st, set, 4, 0);
+  const double expected_var =
+      prior * r / (r + static_cast<double>(k) * prior);
+  EXPECT_NEAR(st.c(0, 0), expected_var, 1e-9);
+}
+
+}  // namespace
+}  // namespace phmse::est

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "constraints/helix_gen.hpp"
+#include "core/assign.hpp"
+#include "core/work_model.hpp"
+#include "molecule/rna_helix.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::core {
+namespace {
+
+std::vector<WorkSample> synth_samples(double a_n2, double a_nm, double a_n,
+                                      double a_m, double a_1,
+                                      double noise_sigma, Rng& rng) {
+  std::vector<WorkSample> out;
+  for (double n : {100.0, 200.0, 500.0, 1000.0, 2000.0}) {
+    for (double m : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+      WorkSample s;
+      s.n = n;
+      s.m = m;
+      s.seconds_per_constraint =
+          a_n2 * n * n + a_nm * n * m + a_n * n + a_m * m + a_1 +
+          rng.gaussian(0.0, noise_sigma);
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+TEST(WorkModelFit, RecoversExactPolynomial) {
+  Rng rng(1);
+  const auto samples = synth_samples(2e-9, 3e-10, 1e-7, 5e-7, 1e-5, 0.0, rng);
+  const WorkModel m = fit_work_model(samples);
+  EXPECT_NEAR(m.a_n2, 2e-9, 1e-12);
+  EXPECT_NEAR(m.a_nm, 3e-10, 1e-12);
+  EXPECT_NEAR(m.a_n, 1e-7, 1e-9);
+  EXPECT_NEAR(m.a_m, 5e-7, 1e-8);
+  EXPECT_NEAR(m.a_1, 1e-5, 1e-6);
+}
+
+TEST(WorkModelFit, AllCoefficientsNonNegative) {
+  // Noisy data that would drive some unconstrained coefficients negative.
+  Rng rng(2);
+  const auto samples = synth_samples(2e-9, 0.0, 0.0, 0.0, 0.0, 5e-5, rng);
+  const WorkModel m = fit_work_model(samples);
+  EXPECT_GE(m.a_n2, 0.0);
+  EXPECT_GE(m.a_nm, 0.0);
+  EXPECT_GE(m.a_n, 0.0);
+  EXPECT_GE(m.a_m, 0.0);
+  EXPECT_GE(m.a_1, 0.0);
+}
+
+TEST(WorkModelFit, NoNegativePredictionsNearOrigin) {
+  // The paper's check: the fitted polynomial must not predict negative
+  // times for tiny n, m.
+  Rng rng(3);
+  const auto samples = synth_samples(1e-9, 1e-10, 2e-8, 0.0, 0.0, 2e-5, rng);
+  const WorkModel m = fit_work_model(samples);
+  for (double n : {0.0, 1.0, 4.0}) {
+    for (double mm : {0.0, 1.0, 2.0}) {
+      EXPECT_GE(m.per_constraint(n, mm), 0.0);
+    }
+  }
+}
+
+TEST(WorkModelFit, GrowsWithNodeSize) {
+  Rng rng(4);
+  const auto samples = synth_samples(2e-9, 1e-10, 1e-7, 0.0, 1e-5, 1e-6, rng);
+  const WorkModel m = fit_work_model(samples);
+  EXPECT_GT(m.per_constraint(2000, 16), m.per_constraint(200, 16));
+  EXPECT_GT(m.per_constraint(200, 16), m.per_constraint(20, 16));
+}
+
+TEST(WorkModelFit, RejectsEmptyInput) {
+  EXPECT_THROW(fit_work_model({}), phmse::Error);
+}
+
+TEST(EstimateWork, AccumulatesUpward) {
+  const mol::HelixModel model = mol::build_helix(2);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Hierarchy h = build_helix_hierarchy(model);
+  assign_constraints(h, set);
+  estimate_work(h, WorkModel{}, 16);
+
+  h.for_each_post_order([](const HierNode& node) {
+    double child_sum = 0.0;
+    for (const auto& c : node.children) child_sum += c->subtree_work;
+    EXPECT_NEAR(node.subtree_work, node.own_work + child_sum, 1e-9);
+    EXPECT_GE(node.own_work, 0.0);
+  });
+}
+
+TEST(EstimateWork, RootSubtreeDominates) {
+  const mol::HelixModel model = mol::build_helix(2);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Hierarchy h = build_helix_hierarchy(model);
+  assign_constraints(h, set);
+  estimate_work(h, WorkModel{}, 16);
+  h.for_each_post_order([&](const HierNode& node) {
+    EXPECT_LE(node.subtree_work, h.root().subtree_work + 1e-12);
+  });
+}
+
+TEST(EstimateWork, LargerNodesCostMorePerConstraint) {
+  // Two single-constraint nodes of different sizes.
+  const mol::HelixModel model = mol::build_helix(2);
+  Hierarchy h = build_helix_hierarchy(model);
+  estimate_work(h, WorkModel{}, 16);
+  // Interior nodes (bigger dim) have a positive assembly term even with no
+  // constraints.
+  EXPECT_GT(h.root().own_work, 0.0);
+}
+
+TEST(OptimalBatch, BalancesFixedCostAgainstGrowth) {
+  // With a noticeable per-batch fixed cost and a linear m penalty, the
+  // optimum is interior: neither 1 nor the maximum.
+  WorkModel m;
+  m.a_n2 = 1e-9;
+  m.a_nm = 2e-10;
+  m.a_n = 1e-8;
+  m.a_m = 0.0;
+  m.a_1 = 2e-6;
+  const Index opt = optimal_batch_size(m, 1000.0);
+  EXPECT_GT(opt, 1);
+  EXPECT_LT(opt, 512);
+}
+
+TEST(OptimalBatch, PureQuadraticPrefersModerateBatches) {
+  WorkModel m;
+  m.a_n2 = 1e-9;
+  m.a_nm = 0.0;
+  m.a_n = 0.0;
+  m.a_m = 0.0;
+  m.a_1 = 1e-6;
+  // No m-dependence in the polynomial: the amortized fixed cost dominates
+  // and pushes the optimum to the largest candidate.
+  EXPECT_EQ(optimal_batch_size(m, 500.0, 64), 64);
+}
+
+TEST(OptimalBatch, StrongLinearPenaltyPrefersSmallBatches) {
+  WorkModel m;
+  m.a_n2 = 0.0;
+  m.a_nm = 1e-6;
+  m.a_n = 0.0;
+  m.a_m = 0.0;
+  m.a_1 = 1e-9;
+  EXPECT_LE(optimal_batch_size(m, 2000.0), 2);
+}
+
+TEST(EstimateWork, EquivalentScalarFormulaMatchesPaperShape) {
+  // per_constraint must be monotone in both n and m for defaults.
+  WorkModel m;
+  m.a_n2 = 1e-9;
+  m.a_nm = 1e-10;
+  m.a_n = 0.0;
+  m.a_m = 0.0;
+  m.a_1 = 1e-6;
+  EXPECT_GT(m.per_constraint(100, 32), m.per_constraint(100, 16));
+  EXPECT_GT(m.per_constraint(200, 16), m.per_constraint(100, 16));
+}
+
+}  // namespace
+}  // namespace phmse::core
