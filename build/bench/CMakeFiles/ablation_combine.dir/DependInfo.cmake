@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_combine.cpp" "bench/CMakeFiles/ablation_combine.dir/ablation_combine.cpp.o" "gcc" "bench/CMakeFiles/ablation_combine.dir/ablation_combine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/phmse_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/phmse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/phmse_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/phmse_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/molecule/CMakeFiles/phmse_molecule.dir/DependInfo.cmake"
+  "/root/repo/build/src/simarch/CMakeFiles/phmse_simarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/phmse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/phmse_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/phmse_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/phmse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

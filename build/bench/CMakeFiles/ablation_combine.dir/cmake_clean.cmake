@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_combine.dir/ablation_combine.cpp.o"
+  "CMakeFiles/ablation_combine.dir/ablation_combine.cpp.o.d"
+  "ablation_combine"
+  "ablation_combine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_combine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_locality.dir/ablation_locality.cpp.o"
+  "CMakeFiles/ablation_locality.dir/ablation_locality.cpp.o.d"
+  "ablation_locality"
+  "ablation_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_machine.dir/ablation_machine.cpp.o"
+  "CMakeFiles/ablation_machine.dir/ablation_machine.cpp.o.d"
+  "ablation_machine"
+  "ablation_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq1_work_model.dir/eq1_work_model.cpp.o"
+  "CMakeFiles/eq1_work_model.dir/eq1_work_model.cpp.o.d"
+  "eq1_work_model"
+  "eq1_work_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq1_work_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

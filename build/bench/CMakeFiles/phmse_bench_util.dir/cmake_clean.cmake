@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libphmse_bench_util.a"
+  "../lib/libphmse_bench_util.pdb"
+  "CMakeFiles/phmse_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/phmse_bench_util.dir/bench_util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phmse_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

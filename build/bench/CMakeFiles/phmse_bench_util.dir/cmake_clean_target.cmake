@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libphmse_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_flat_vs_hier.dir/table1_flat_vs_hier.cpp.o"
+  "CMakeFiles/table1_flat_vs_hier.dir/table1_flat_vs_hier.cpp.o.d"
+  "table1_flat_vs_hier"
+  "table1_flat_vs_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_flat_vs_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

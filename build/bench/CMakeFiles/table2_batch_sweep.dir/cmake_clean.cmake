@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_batch_sweep.dir/table2_batch_sweep.cpp.o"
+  "CMakeFiles/table2_batch_sweep.dir/table2_batch_sweep.cpp.o.d"
+  "table2_batch_sweep"
+  "table2_batch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_batch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

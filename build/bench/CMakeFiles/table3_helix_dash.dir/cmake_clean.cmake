@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_helix_dash.dir/table3_helix_dash.cpp.o"
+  "CMakeFiles/table3_helix_dash.dir/table3_helix_dash.cpp.o.d"
+  "table3_helix_dash"
+  "table3_helix_dash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_helix_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

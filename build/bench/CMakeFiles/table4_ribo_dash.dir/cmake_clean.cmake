@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ribo_dash.dir/table4_ribo_dash.cpp.o"
+  "CMakeFiles/table4_ribo_dash.dir/table4_ribo_dash.cpp.o.d"
+  "table4_ribo_dash"
+  "table4_ribo_dash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ribo_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_helix_challenge.dir/table5_helix_challenge.cpp.o"
+  "CMakeFiles/table5_helix_challenge.dir/table5_helix_challenge.cpp.o.d"
+  "table5_helix_challenge"
+  "table5_helix_challenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_helix_challenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ribo_challenge.dir/table6_ribo_challenge.cpp.o"
+  "CMakeFiles/table6_ribo_challenge.dir/table6_ribo_challenge.cpp.o.d"
+  "table6_ribo_challenge"
+  "table6_ribo_challenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ribo_challenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

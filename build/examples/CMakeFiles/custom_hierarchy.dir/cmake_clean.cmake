@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_hierarchy.dir/custom_hierarchy.cpp.o"
+  "CMakeFiles/custom_hierarchy.dir/custom_hierarchy.cpp.o.d"
+  "custom_hierarchy"
+  "custom_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

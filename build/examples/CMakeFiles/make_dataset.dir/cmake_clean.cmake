@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_dataset.dir/make_dataset.cpp.o"
+  "CMakeFiles/make_dataset.dir/make_dataset.cpp.o.d"
+  "make_dataset"
+  "make_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

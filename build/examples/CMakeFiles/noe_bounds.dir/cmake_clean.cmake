@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noe_bounds.dir/noe_bounds.cpp.o"
+  "CMakeFiles/noe_bounds.dir/noe_bounds.cpp.o.d"
+  "noe_bounds"
+  "noe_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noe_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phmse_solve.dir/phmse_solve.cpp.o"
+  "CMakeFiles/phmse_solve.dir/phmse_solve.cpp.o.d"
+  "phmse_solve"
+  "phmse_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phmse_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ribosome_30s.dir/ribosome_30s.cpp.o"
+  "CMakeFiles/ribosome_30s.dir/ribosome_30s.cpp.o.d"
+  "ribosome_30s"
+  "ribosome_30s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ribosome_30s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

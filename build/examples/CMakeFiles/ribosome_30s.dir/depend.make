@@ -1,0 +1,2 @@
+# Empty dependencies file for ribosome_30s.
+# This may be replaced when dependencies are built.

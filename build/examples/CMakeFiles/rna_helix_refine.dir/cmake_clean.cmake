@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_helix_refine.dir/rna_helix_refine.cpp.o"
+  "CMakeFiles/rna_helix_refine.dir/rna_helix_refine.cpp.o.d"
+  "rna_helix_refine"
+  "rna_helix_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_helix_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rna_helix_refine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rna_helix_refine "/root/repo/build/examples/rna_helix_refine")
+set_tests_properties(example_rna_helix_refine PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_hierarchy "/root/repo/build/examples/custom_hierarchy")
+set_tests_properties(example_custom_hierarchy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_noe_bounds "/root/repo/build/examples/noe_bounds")
+set_tests_properties(example_noe_bounds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_pipeline "bash" "-c" "/root/repo/build/examples/make_dataset helix 1 cli_demo --anchors &&    /root/repo/build/examples/phmse_solve cli_demo.xyz cli_demo.constraints      --out cli_demo_refined.xyz --cycles 10 --prior 0.5 --tol 0.05")
+set_tests_properties(example_cli_pipeline PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

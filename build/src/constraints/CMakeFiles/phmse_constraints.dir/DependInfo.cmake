@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/constraint.cpp" "src/constraints/CMakeFiles/phmse_constraints.dir/constraint.cpp.o" "gcc" "src/constraints/CMakeFiles/phmse_constraints.dir/constraint.cpp.o.d"
+  "/root/repo/src/constraints/helix_gen.cpp" "src/constraints/CMakeFiles/phmse_constraints.dir/helix_gen.cpp.o" "gcc" "src/constraints/CMakeFiles/phmse_constraints.dir/helix_gen.cpp.o.d"
+  "/root/repo/src/constraints/io.cpp" "src/constraints/CMakeFiles/phmse_constraints.dir/io.cpp.o" "gcc" "src/constraints/CMakeFiles/phmse_constraints.dir/io.cpp.o.d"
+  "/root/repo/src/constraints/ribo_gen.cpp" "src/constraints/CMakeFiles/phmse_constraints.dir/ribo_gen.cpp.o" "gcc" "src/constraints/CMakeFiles/phmse_constraints.dir/ribo_gen.cpp.o.d"
+  "/root/repo/src/constraints/set.cpp" "src/constraints/CMakeFiles/phmse_constraints.dir/set.cpp.o" "gcc" "src/constraints/CMakeFiles/phmse_constraints.dir/set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/molecule/CMakeFiles/phmse_molecule.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/phmse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/phmse_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/phmse_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/phmse_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

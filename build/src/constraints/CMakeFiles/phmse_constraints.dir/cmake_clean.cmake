@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phmse_constraints.dir/constraint.cpp.o"
+  "CMakeFiles/phmse_constraints.dir/constraint.cpp.o.d"
+  "CMakeFiles/phmse_constraints.dir/helix_gen.cpp.o"
+  "CMakeFiles/phmse_constraints.dir/helix_gen.cpp.o.d"
+  "CMakeFiles/phmse_constraints.dir/io.cpp.o"
+  "CMakeFiles/phmse_constraints.dir/io.cpp.o.d"
+  "CMakeFiles/phmse_constraints.dir/ribo_gen.cpp.o"
+  "CMakeFiles/phmse_constraints.dir/ribo_gen.cpp.o.d"
+  "CMakeFiles/phmse_constraints.dir/set.cpp.o"
+  "CMakeFiles/phmse_constraints.dir/set.cpp.o.d"
+  "libphmse_constraints.a"
+  "libphmse_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phmse_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assign.cpp" "src/core/CMakeFiles/phmse_core.dir/assign.cpp.o" "gcc" "src/core/CMakeFiles/phmse_core.dir/assign.cpp.o.d"
+  "/root/repo/src/core/dynamic.cpp" "src/core/CMakeFiles/phmse_core.dir/dynamic.cpp.o" "gcc" "src/core/CMakeFiles/phmse_core.dir/dynamic.cpp.o.d"
+  "/root/repo/src/core/graph_partition.cpp" "src/core/CMakeFiles/phmse_core.dir/graph_partition.cpp.o" "gcc" "src/core/CMakeFiles/phmse_core.dir/graph_partition.cpp.o.d"
+  "/root/repo/src/core/hier_solver.cpp" "src/core/CMakeFiles/phmse_core.dir/hier_solver.cpp.o" "gcc" "src/core/CMakeFiles/phmse_core.dir/hier_solver.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/phmse_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/phmse_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/phmse_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/phmse_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/phmse_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/phmse_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/work_model.cpp" "src/core/CMakeFiles/phmse_core.dir/work_model.cpp.o" "gcc" "src/core/CMakeFiles/phmse_core.dir/work_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/estimation/CMakeFiles/phmse_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/simarch/CMakeFiles/phmse_simarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/phmse_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/molecule/CMakeFiles/phmse_molecule.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/phmse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/phmse_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/phmse_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/phmse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

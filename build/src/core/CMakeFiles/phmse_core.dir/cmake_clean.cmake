@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phmse_core.dir/assign.cpp.o"
+  "CMakeFiles/phmse_core.dir/assign.cpp.o.d"
+  "CMakeFiles/phmse_core.dir/dynamic.cpp.o"
+  "CMakeFiles/phmse_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/phmse_core.dir/graph_partition.cpp.o"
+  "CMakeFiles/phmse_core.dir/graph_partition.cpp.o.d"
+  "CMakeFiles/phmse_core.dir/hier_solver.cpp.o"
+  "CMakeFiles/phmse_core.dir/hier_solver.cpp.o.d"
+  "CMakeFiles/phmse_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/phmse_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/phmse_core.dir/schedule.cpp.o"
+  "CMakeFiles/phmse_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/phmse_core.dir/study.cpp.o"
+  "CMakeFiles/phmse_core.dir/study.cpp.o.d"
+  "CMakeFiles/phmse_core.dir/work_model.cpp.o"
+  "CMakeFiles/phmse_core.dir/work_model.cpp.o.d"
+  "libphmse_core.a"
+  "libphmse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phmse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimation/analysis.cpp" "src/estimation/CMakeFiles/phmse_estimation.dir/analysis.cpp.o" "gcc" "src/estimation/CMakeFiles/phmse_estimation.dir/analysis.cpp.o.d"
+  "/root/repo/src/estimation/combine.cpp" "src/estimation/CMakeFiles/phmse_estimation.dir/combine.cpp.o" "gcc" "src/estimation/CMakeFiles/phmse_estimation.dir/combine.cpp.o.d"
+  "/root/repo/src/estimation/nongaussian.cpp" "src/estimation/CMakeFiles/phmse_estimation.dir/nongaussian.cpp.o" "gcc" "src/estimation/CMakeFiles/phmse_estimation.dir/nongaussian.cpp.o.d"
+  "/root/repo/src/estimation/residuals.cpp" "src/estimation/CMakeFiles/phmse_estimation.dir/residuals.cpp.o" "gcc" "src/estimation/CMakeFiles/phmse_estimation.dir/residuals.cpp.o.d"
+  "/root/repo/src/estimation/solver.cpp" "src/estimation/CMakeFiles/phmse_estimation.dir/solver.cpp.o" "gcc" "src/estimation/CMakeFiles/phmse_estimation.dir/solver.cpp.o.d"
+  "/root/repo/src/estimation/state.cpp" "src/estimation/CMakeFiles/phmse_estimation.dir/state.cpp.o" "gcc" "src/estimation/CMakeFiles/phmse_estimation.dir/state.cpp.o.d"
+  "/root/repo/src/estimation/update.cpp" "src/estimation/CMakeFiles/phmse_estimation.dir/update.cpp.o" "gcc" "src/estimation/CMakeFiles/phmse_estimation.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/phmse_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/phmse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/phmse_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/phmse_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/phmse_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/molecule/CMakeFiles/phmse_molecule.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phmse_estimation.dir/analysis.cpp.o"
+  "CMakeFiles/phmse_estimation.dir/analysis.cpp.o.d"
+  "CMakeFiles/phmse_estimation.dir/combine.cpp.o"
+  "CMakeFiles/phmse_estimation.dir/combine.cpp.o.d"
+  "CMakeFiles/phmse_estimation.dir/nongaussian.cpp.o"
+  "CMakeFiles/phmse_estimation.dir/nongaussian.cpp.o.d"
+  "CMakeFiles/phmse_estimation.dir/residuals.cpp.o"
+  "CMakeFiles/phmse_estimation.dir/residuals.cpp.o.d"
+  "CMakeFiles/phmse_estimation.dir/solver.cpp.o"
+  "CMakeFiles/phmse_estimation.dir/solver.cpp.o.d"
+  "CMakeFiles/phmse_estimation.dir/state.cpp.o"
+  "CMakeFiles/phmse_estimation.dir/state.cpp.o.d"
+  "CMakeFiles/phmse_estimation.dir/update.cpp.o"
+  "CMakeFiles/phmse_estimation.dir/update.cpp.o.d"
+  "libphmse_estimation.a"
+  "libphmse_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phmse_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

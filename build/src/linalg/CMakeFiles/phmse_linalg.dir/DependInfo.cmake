@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blas.cpp" "src/linalg/CMakeFiles/phmse_linalg.dir/blas.cpp.o" "gcc" "src/linalg/CMakeFiles/phmse_linalg.dir/blas.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/linalg/CMakeFiles/phmse_linalg.dir/cholesky.cpp.o" "gcc" "src/linalg/CMakeFiles/phmse_linalg.dir/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/csr.cpp" "src/linalg/CMakeFiles/phmse_linalg.dir/csr.cpp.o" "gcc" "src/linalg/CMakeFiles/phmse_linalg.dir/csr.cpp.o.d"
+  "/root/repo/src/linalg/kernels.cpp" "src/linalg/CMakeFiles/phmse_linalg.dir/kernels.cpp.o" "gcc" "src/linalg/CMakeFiles/phmse_linalg.dir/kernels.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/phmse_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/phmse_linalg.dir/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/phmse_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/phmse_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/phmse_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

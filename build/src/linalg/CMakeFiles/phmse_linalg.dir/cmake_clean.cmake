@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phmse_linalg.dir/blas.cpp.o"
+  "CMakeFiles/phmse_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/phmse_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/phmse_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/phmse_linalg.dir/csr.cpp.o"
+  "CMakeFiles/phmse_linalg.dir/csr.cpp.o.d"
+  "CMakeFiles/phmse_linalg.dir/kernels.cpp.o"
+  "CMakeFiles/phmse_linalg.dir/kernels.cpp.o.d"
+  "CMakeFiles/phmse_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/phmse_linalg.dir/matrix.cpp.o.d"
+  "libphmse_linalg.a"
+  "libphmse_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phmse_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

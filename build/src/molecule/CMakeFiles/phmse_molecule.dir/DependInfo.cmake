@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/molecule/geom.cpp" "src/molecule/CMakeFiles/phmse_molecule.dir/geom.cpp.o" "gcc" "src/molecule/CMakeFiles/phmse_molecule.dir/geom.cpp.o.d"
+  "/root/repo/src/molecule/ribo30s.cpp" "src/molecule/CMakeFiles/phmse_molecule.dir/ribo30s.cpp.o" "gcc" "src/molecule/CMakeFiles/phmse_molecule.dir/ribo30s.cpp.o.d"
+  "/root/repo/src/molecule/rna_helix.cpp" "src/molecule/CMakeFiles/phmse_molecule.dir/rna_helix.cpp.o" "gcc" "src/molecule/CMakeFiles/phmse_molecule.dir/rna_helix.cpp.o.d"
+  "/root/repo/src/molecule/topology.cpp" "src/molecule/CMakeFiles/phmse_molecule.dir/topology.cpp.o" "gcc" "src/molecule/CMakeFiles/phmse_molecule.dir/topology.cpp.o.d"
+  "/root/repo/src/molecule/xyz_io.cpp" "src/molecule/CMakeFiles/phmse_molecule.dir/xyz_io.cpp.o" "gcc" "src/molecule/CMakeFiles/phmse_molecule.dir/xyz_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/phmse_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/phmse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/phmse_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/phmse_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phmse_molecule.dir/geom.cpp.o"
+  "CMakeFiles/phmse_molecule.dir/geom.cpp.o.d"
+  "CMakeFiles/phmse_molecule.dir/ribo30s.cpp.o"
+  "CMakeFiles/phmse_molecule.dir/ribo30s.cpp.o.d"
+  "CMakeFiles/phmse_molecule.dir/rna_helix.cpp.o"
+  "CMakeFiles/phmse_molecule.dir/rna_helix.cpp.o.d"
+  "CMakeFiles/phmse_molecule.dir/topology.cpp.o"
+  "CMakeFiles/phmse_molecule.dir/topology.cpp.o.d"
+  "CMakeFiles/phmse_molecule.dir/xyz_io.cpp.o"
+  "CMakeFiles/phmse_molecule.dir/xyz_io.cpp.o.d"
+  "libphmse_molecule.a"
+  "libphmse_molecule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phmse_molecule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/exec.cpp" "src/parallel/CMakeFiles/phmse_parallel.dir/exec.cpp.o" "gcc" "src/parallel/CMakeFiles/phmse_parallel.dir/exec.cpp.o.d"
+  "/root/repo/src/parallel/partition.cpp" "src/parallel/CMakeFiles/phmse_parallel.dir/partition.cpp.o" "gcc" "src/parallel/CMakeFiles/phmse_parallel.dir/partition.cpp.o.d"
+  "/root/repo/src/parallel/team.cpp" "src/parallel/CMakeFiles/phmse_parallel.dir/team.cpp.o" "gcc" "src/parallel/CMakeFiles/phmse_parallel.dir/team.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/parallel/CMakeFiles/phmse_parallel.dir/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/phmse_parallel.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/phmse_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/phmse_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

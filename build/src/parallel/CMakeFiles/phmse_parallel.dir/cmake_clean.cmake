@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phmse_parallel.dir/exec.cpp.o"
+  "CMakeFiles/phmse_parallel.dir/exec.cpp.o.d"
+  "CMakeFiles/phmse_parallel.dir/partition.cpp.o"
+  "CMakeFiles/phmse_parallel.dir/partition.cpp.o.d"
+  "CMakeFiles/phmse_parallel.dir/team.cpp.o"
+  "CMakeFiles/phmse_parallel.dir/team.cpp.o.d"
+  "CMakeFiles/phmse_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/phmse_parallel.dir/thread_pool.cpp.o.d"
+  "libphmse_parallel.a"
+  "libphmse_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phmse_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphmse_parallel.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/category.cpp" "src/perf/CMakeFiles/phmse_perf.dir/category.cpp.o" "gcc" "src/perf/CMakeFiles/phmse_perf.dir/category.cpp.o.d"
+  "/root/repo/src/perf/profile.cpp" "src/perf/CMakeFiles/phmse_perf.dir/profile.cpp.o" "gcc" "src/perf/CMakeFiles/phmse_perf.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/phmse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

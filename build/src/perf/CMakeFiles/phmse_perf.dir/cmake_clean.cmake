@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phmse_perf.dir/category.cpp.o"
+  "CMakeFiles/phmse_perf.dir/category.cpp.o.d"
+  "CMakeFiles/phmse_perf.dir/profile.cpp.o"
+  "CMakeFiles/phmse_perf.dir/profile.cpp.o.d"
+  "libphmse_perf.a"
+  "libphmse_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phmse_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simarch/machine.cpp" "src/simarch/CMakeFiles/phmse_simarch.dir/machine.cpp.o" "gcc" "src/simarch/CMakeFiles/phmse_simarch.dir/machine.cpp.o.d"
+  "/root/repo/src/simarch/sim_context.cpp" "src/simarch/CMakeFiles/phmse_simarch.dir/sim_context.cpp.o" "gcc" "src/simarch/CMakeFiles/phmse_simarch.dir/sim_context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/phmse_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/phmse_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/phmse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phmse_simarch.dir/machine.cpp.o"
+  "CMakeFiles/phmse_simarch.dir/machine.cpp.o.d"
+  "CMakeFiles/phmse_simarch.dir/sim_context.cpp.o"
+  "CMakeFiles/phmse_simarch.dir/sim_context.cpp.o.d"
+  "libphmse_simarch.a"
+  "libphmse_simarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phmse_simarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phmse_support.dir/check.cpp.o"
+  "CMakeFiles/phmse_support.dir/check.cpp.o.d"
+  "CMakeFiles/phmse_support.dir/env.cpp.o"
+  "CMakeFiles/phmse_support.dir/env.cpp.o.d"
+  "CMakeFiles/phmse_support.dir/rng.cpp.o"
+  "CMakeFiles/phmse_support.dir/rng.cpp.o.d"
+  "CMakeFiles/phmse_support.dir/stopwatch.cpp.o"
+  "CMakeFiles/phmse_support.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/phmse_support.dir/table.cpp.o"
+  "CMakeFiles/phmse_support.dir/table.cpp.o.d"
+  "libphmse_support.a"
+  "libphmse_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phmse_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

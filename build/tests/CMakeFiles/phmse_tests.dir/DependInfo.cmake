@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/phmse_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/assign_test.cpp" "tests/CMakeFiles/phmse_tests.dir/assign_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/assign_test.cpp.o.d"
+  "/root/repo/tests/blas_test.cpp" "tests/CMakeFiles/phmse_tests.dir/blas_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/blas_test.cpp.o.d"
+  "/root/repo/tests/cholesky_test.cpp" "tests/CMakeFiles/phmse_tests.dir/cholesky_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/cholesky_test.cpp.o.d"
+  "/root/repo/tests/combine_test.cpp" "tests/CMakeFiles/phmse_tests.dir/combine_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/combine_test.cpp.o.d"
+  "/root/repo/tests/constraint_io_test.cpp" "tests/CMakeFiles/phmse_tests.dir/constraint_io_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/constraint_io_test.cpp.o.d"
+  "/root/repo/tests/constraint_test.cpp" "tests/CMakeFiles/phmse_tests.dir/constraint_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/constraint_test.cpp.o.d"
+  "/root/repo/tests/csr_test.cpp" "tests/CMakeFiles/phmse_tests.dir/csr_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/csr_test.cpp.o.d"
+  "/root/repo/tests/dynamic_test.cpp" "tests/CMakeFiles/phmse_tests.dir/dynamic_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/dynamic_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/phmse_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/equivalence_test.cpp" "tests/CMakeFiles/phmse_tests.dir/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/equivalence_test.cpp.o.d"
+  "/root/repo/tests/generators_test.cpp" "tests/CMakeFiles/phmse_tests.dir/generators_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/generators_test.cpp.o.d"
+  "/root/repo/tests/geom_test.cpp" "tests/CMakeFiles/phmse_tests.dir/geom_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/geom_test.cpp.o.d"
+  "/root/repo/tests/graph_partition_test.cpp" "tests/CMakeFiles/phmse_tests.dir/graph_partition_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/graph_partition_test.cpp.o.d"
+  "/root/repo/tests/helix_model_test.cpp" "tests/CMakeFiles/phmse_tests.dir/helix_model_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/helix_model_test.cpp.o.d"
+  "/root/repo/tests/hier_solver_test.cpp" "tests/CMakeFiles/phmse_tests.dir/hier_solver_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/hier_solver_test.cpp.o.d"
+  "/root/repo/tests/hierarchy_test.cpp" "tests/CMakeFiles/phmse_tests.dir/hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/hierarchy_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/phmse_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/kernels_test.cpp" "tests/CMakeFiles/phmse_tests.dir/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/kernels_test.cpp.o.d"
+  "/root/repo/tests/matrix_test.cpp" "tests/CMakeFiles/phmse_tests.dir/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/matrix_test.cpp.o.d"
+  "/root/repo/tests/nongaussian_test.cpp" "tests/CMakeFiles/phmse_tests.dir/nongaussian_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/nongaussian_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/phmse_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/perf_test.cpp" "tests/CMakeFiles/phmse_tests.dir/perf_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/perf_test.cpp.o.d"
+  "/root/repo/tests/residuals_test.cpp" "tests/CMakeFiles/phmse_tests.dir/residuals_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/residuals_test.cpp.o.d"
+  "/root/repo/tests/ribo_model_test.cpp" "tests/CMakeFiles/phmse_tests.dir/ribo_model_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/ribo_model_test.cpp.o.d"
+  "/root/repo/tests/schedule_fuzz_test.cpp" "tests/CMakeFiles/phmse_tests.dir/schedule_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/schedule_fuzz_test.cpp.o.d"
+  "/root/repo/tests/schedule_test.cpp" "tests/CMakeFiles/phmse_tests.dir/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/schedule_test.cpp.o.d"
+  "/root/repo/tests/simarch_test.cpp" "tests/CMakeFiles/phmse_tests.dir/simarch_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/simarch_test.cpp.o.d"
+  "/root/repo/tests/solver_test.cpp" "tests/CMakeFiles/phmse_tests.dir/solver_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/solver_test.cpp.o.d"
+  "/root/repo/tests/study_test.cpp" "tests/CMakeFiles/phmse_tests.dir/study_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/study_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/phmse_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/thread_pool_test.cpp" "tests/CMakeFiles/phmse_tests.dir/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/topology_test.cpp" "tests/CMakeFiles/phmse_tests.dir/topology_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/topology_test.cpp.o.d"
+  "/root/repo/tests/update_property_test.cpp" "tests/CMakeFiles/phmse_tests.dir/update_property_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/update_property_test.cpp.o.d"
+  "/root/repo/tests/update_test.cpp" "tests/CMakeFiles/phmse_tests.dir/update_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/update_test.cpp.o.d"
+  "/root/repo/tests/work_model_test.cpp" "tests/CMakeFiles/phmse_tests.dir/work_model_test.cpp.o" "gcc" "tests/CMakeFiles/phmse_tests.dir/work_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/phmse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/phmse_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/phmse_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/molecule/CMakeFiles/phmse_molecule.dir/DependInfo.cmake"
+  "/root/repo/build/src/simarch/CMakeFiles/phmse_simarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/phmse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/phmse_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/phmse_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/phmse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
