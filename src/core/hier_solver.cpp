@@ -1,8 +1,10 @@
 #include "core/hier_solver.hpp"
 
 #include <cmath>
+#include <exception>
 
 #include "estimation/update.hpp"
+#include "parallel/task_group.hpp"
 #include "parallel/team.hpp"
 #include "support/check.hpp"
 
@@ -129,6 +131,13 @@ NodeState solve_subtree_sim(simarch::SimMachine& machine, HierNode& node,
 // Threaded recursion: subtrees with disjoint processor groups run as tasks
 // on their group's first worker; the node's own update runs on a team over
 // its whole range.
+//
+// Exception safety: a failure anywhere in a subtree (e.g. a bad constraint
+// batch throwing phmse::Error inside a worker lane) must not deadlock the
+// join or escape into the pool's worker loop.  Remote children run inside a
+// TaskGroup, which always counts their arrival and carries the first
+// exception back; an inline-child failure is held until the remote children
+// have joined (they capture this frame by reference) and only then rethrown.
 
 NodeState solve_subtree_threaded(par::ThreadPool& pool, HierNode& node,
                                  const Vector& initial_x,
@@ -148,20 +157,32 @@ NodeState solve_subtree_threaded(par::ThreadPool& pool, HierNode& node,
     }
   }
 
-  par::Latch done(static_cast<int>(remote_children.size()));
+  par::TaskGroup group(static_cast<int>(remote_children.size()));
   for (std::size_t i : remote_children) {
     HierNode* child = node.children[i].get();
-    pool.submit(child->proc_first, [&, child, i] {
+    try {
+      pool.submit(child->proc_first, [&, child, i] {
+        group.run([&] {
+          child_states[i] =
+              solve_subtree_threaded(pool, *child, initial_x, options);
+        });
+      });
+    } catch (...) {
+      group.fail(std::current_exception());
+    }
+  }
+  std::exception_ptr inline_error;
+  try {
+    for (std::size_t i : inline_children) {
       child_states[i] =
-          solve_subtree_threaded(pool, *child, initial_x, options);
-      done.count_down();
-    });
+          solve_subtree_threaded(pool, *node.children[i], initial_x, options);
+    }
+  } catch (...) {
+    inline_error = std::current_exception();
   }
-  for (std::size_t i : inline_children) {
-    child_states[i] =
-        solve_subtree_threaded(pool, *node.children[i], initial_x, options);
-  }
-  done.wait();
+  group.wait();  // join remote children before any unwind
+  if (inline_error) std::rethrow_exception(inline_error);
+  group.rethrow_any();
 
   par::TeamContext ctx(pool, node.proc_first, node.proc_count);
   BatchUpdater updater;
@@ -228,12 +249,17 @@ HierSolveResult solve_hierarchical_threaded(Hierarchy& hierarchy,
               "initial state dimension mismatch");
   return run_cycles(initial_x, options, [&](const Vector& x0) {
     NodeState state;
-    par::Latch done(1);
-    pool.submit(hierarchy.root().proc_first, [&] {
-      state = solve_subtree_threaded(pool, hierarchy.root(), x0, options);
-      done.count_down();
-    });
-    done.wait();
+    par::TaskGroup group(1);
+    try {
+      pool.submit(hierarchy.root().proc_first, [&] {
+        group.run([&] {
+          state = solve_subtree_threaded(pool, hierarchy.root(), x0, options);
+        });
+      });
+    } catch (...) {
+      group.fail(std::current_exception());
+    }
+    group.join();  // waits, then rethrows a subtree failure on this thread
     return state;
   });
 }

@@ -72,6 +72,11 @@ SimSolveResult solve_hierarchical_sim(Hierarchy& hierarchy,
 
 /// Real-thread parallel solve following the static schedule on `pool`.
 /// assign_processors() must have been run with pool.size() processors.
+///
+/// Exception safety: a failure anywhere in the tree (e.g. a bad constraint
+/// batch throwing phmse::Error on a worker lane) propagates to the caller
+/// as that same exception — no deadlocked join, no std::terminate — and
+/// `pool` remains usable for subsequent solves.
 HierSolveResult solve_hierarchical_threaded(Hierarchy& hierarchy,
                                             const linalg::Vector& initial_x,
                                             const HierSolveOptions& options,

@@ -31,8 +31,13 @@ void BatchUpdater::linearize(par::ExecContext& ctx, const NodeState& state,
       const Index na = cons::arity(c.kind);
       std::array<mol::Vec3, 4> pos{};
       for (Index k = 0; k < na; ++k) {
-        pos[static_cast<std::size_t>(k)] =
-            state.position(c.atoms[static_cast<std::size_t>(k)]);
+        const Index atom = c.atoms[static_cast<std::size_t>(k)];
+        // API-boundary contract (see update.hpp): enforced with an always-on
+        // check — position() itself only asserts, which compiles out under
+        // NDEBUG and would turn a bad batch into an out-of-bounds read.
+        PHMSE_CHECK(atom >= state.atom_begin && atom < state.atom_end,
+                    "constraint atom outside the node's state range");
+        pos[static_cast<std::size_t>(k)] = state.position(atom);
       }
       cons::Gradient grad;
       const double predicted = cons::evaluate_with_gradient(c, pos, grad);

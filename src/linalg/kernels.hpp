@@ -13,6 +13,12 @@
 //
 // Every kernel takes an ExecContext so the same code runs serially, on a
 // real thread team, or on the simulated multiprocessor (src/simarch).
+//
+// Exception transparency: these kernels hold no hidden state across
+// parallel() calls and add no try/catch of their own, so the ExecContext
+// contract applies verbatim — a body failure (e.g. a PHMSE_CHECK firing on
+// a worker lane) joins the team cleanly and rethrows on the calling lane,
+// leaving only the output arguments in a partially-written state.
 #pragma once
 
 #include "linalg/csr.hpp"

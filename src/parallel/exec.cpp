@@ -1,5 +1,7 @@
 #include "parallel/exec.hpp"
 
+#include <exception>
+
 #include "support/stopwatch.hpp"
 
 namespace phmse::par {
@@ -8,16 +10,28 @@ void SerialContext::parallel(perf::Category cat, Index n, const CostFn& cost,
                              const BodyFn& body) {
   (void)cost;  // real contexts measure, they do not model
   Stopwatch sw;
-  if (n > 0) body(0, n, 0);
+  std::exception_ptr error;
+  try {
+    if (n > 0) body(0, n, 0);
+  } catch (...) {
+    error = std::current_exception();
+  }
   profile_.add(cat, sw.seconds());
+  if (error) std::rethrow_exception(error);
 }
 
 void SerialContext::sequential(perf::Category cat, const CostFn& cost,
                                const std::function<void()>& body) {
   (void)cost;
   Stopwatch sw;
-  body();
+  std::exception_ptr error;
+  try {
+    body();
+  } catch (...) {
+    error = std::current_exception();
+  }
   profile_.add(cat, sw.seconds());
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace phmse::par

@@ -65,6 +65,16 @@ using CostFn = std::function<KernelStats(Index begin, Index end)>;
 using BodyFn = std::function<void(Index begin, Index end, int lane)>;
 
 /// Abstract execution context.  See file comment.
+///
+/// Exception-safety contract (all implementations): parallel() and
+/// sequential() are exception-transparent.  If the body throws on any lane,
+/// every lane still reaches the implicit barrier (forked lanes are joined —
+/// no deadlock, no escaped exception on a worker thread), the elapsed
+/// real/virtual time is still charged to `cat`, and then the first recorded
+/// exception is rethrown on the calling lane.  A context that reported a
+/// body failure this way remains fully usable for subsequent kernels.
+/// Kernels written against ExecContext therefore need no try/catch of their
+/// own to be exception-transparent.
 class ExecContext {
  public:
   virtual ~ExecContext() = default;

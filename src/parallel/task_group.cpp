@@ -1,0 +1,24 @@
+#include "parallel/task_group.hpp"
+
+namespace phmse::par {
+
+void TaskGroup::fail(std::exception_ptr error) noexcept {
+  record(std::move(error));
+  latch_.count_down();
+}
+
+std::exception_ptr TaskGroup::error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_;
+}
+
+void TaskGroup::rethrow_any() {
+  if (std::exception_ptr e = error()) std::rethrow_exception(e);
+}
+
+void TaskGroup::record(std::exception_ptr error) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_) first_ = std::move(error);
+}
+
+}  // namespace phmse::par

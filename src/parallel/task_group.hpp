@@ -1,0 +1,85 @@
+// TaskGroup: a fork-join rendezvous that never loses an exception and
+// never loses an arrival.
+//
+// The raw Latch + submit pattern has a classic failure mode: a forked task
+// that throws skips its count_down(), so the joining thread blocks forever
+// while the exception escapes the worker loop and terminates the process.
+// TaskGroup closes both holes.  Every task body runs inside run(), which
+// records the first exception thrown by any task and *always* counts the
+// arrival; a task whose submission itself failed is accounted for with
+// fail().  The joining thread first waits for all arrivals (so forked tasks
+// can never outlive the stack frame they capture), then rethrows the first
+// recorded exception on its own lane.
+#pragma once
+
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+
+namespace phmse::par {
+
+/// Joins `count` forked tasks and propagates the first exception any of
+/// them threw.  Single-use, like Latch.  Typical shape:
+///
+///   TaskGroup group(k);
+///   for (int i = 0; i < k; ++i) {
+///     try {
+///       pool.submit(w[i], [&group, ...] { group.run([&] { work(i); }); });
+///     } catch (...) {
+///       group.fail(std::current_exception());  // submission never ran
+///     }
+///   }
+///   ... optional inline work on the calling thread ...
+///   group.wait();         // ALWAYS reached before unwinding this frame
+///   group.rethrow_any();  // surface a forked failure on the calling lane
+class TaskGroup {
+ public:
+  explicit TaskGroup(int count) : latch_(count) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Runs `fn` on the calling thread.  An exception thrown by `fn` is
+  /// recorded (first one wins) instead of propagating, and the arrival is
+  /// counted unconditionally, so wait() cannot deadlock on a failed task.
+  template <typename Fn>
+  void run(Fn&& fn) noexcept {
+    try {
+      std::forward<Fn>(fn)();
+    } catch (...) {
+      record(std::current_exception());
+    }
+    latch_.count_down();
+  }
+
+  /// Accounts for a task that could never run (e.g. its submission was
+  /// rejected by a stopping pool): records `error` and counts the arrival.
+  void fail(std::exception_ptr error) noexcept;
+
+  /// Blocks until all `count` tasks have arrived.  Never throws; call this
+  /// before unwinding any frame the forked tasks capture by reference.
+  void wait() noexcept { latch_.wait(); }
+
+  /// The first recorded exception, or nullptr if every task succeeded.
+  std::exception_ptr error() const;
+
+  /// Rethrows the first recorded exception, if any.  Call after wait().
+  void rethrow_any();
+
+  /// wait() followed by rethrow_any().
+  void join() {
+    wait();
+    rethrow_any();
+  }
+
+ private:
+  void record(std::exception_ptr error) noexcept;
+
+  Latch latch_;
+  mutable std::mutex mutex_;
+  std::exception_ptr first_;
+};
+
+}  // namespace phmse::par

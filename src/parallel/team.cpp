@@ -1,13 +1,19 @@
 #include "parallel/team.hpp"
 
+#include <exception>
+
 #include "parallel/partition.hpp"
+#include "parallel/task_group.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 
 namespace phmse::par {
 
 TeamContext::TeamContext(ThreadPool& pool, int first_worker, int size)
-    : pool_(pool), first_(first_worker), size_(size) {
+    : pool_(pool),
+      first_(first_worker),
+      size_(size),
+      owner_(std::this_thread::get_id()) {
   PHMSE_CHECK(size >= 1, "team needs at least one lane");
   PHMSE_CHECK(first_worker >= 0 && first_worker + size <= pool.size(),
               "team worker range exceeds pool");
@@ -16,32 +22,59 @@ TeamContext::TeamContext(ThreadPool& pool, int first_worker, int size)
 void TeamContext::parallel(perf::Category cat, Index n, const CostFn& cost,
                            const BodyFn& body) {
   (void)cost;
+  // Single-writer invariant for profile_ (and for the team's worker range).
+  PHMSE_ASSERT(std::this_thread::get_id() == owner_);
   Stopwatch sw;
+  std::exception_ptr error;
   if (size_ == 1 || n < size_) {
     // Too little work to be worth a fork; run on the calling lane.
-    if (n > 0) body(0, n, 0);
+    try {
+      if (n > 0) body(0, n, 0);
+    } catch (...) {
+      error = std::current_exception();
+    }
   } else {
-    Latch done(size_ - 1);
+    TaskGroup group(size_ - 1);
     for (int lane = 1; lane < size_; ++lane) {
       const Range r = even_chunk(n, size_, lane);
-      pool_.submit(first_ + lane, [&, r, lane] {
-        if (!r.empty()) body(r.begin, r.end, lane);
-        done.count_down();
-      });
+      try {
+        pool_.submit(first_ + lane, [&group, &body, r, lane] {
+          group.run([&] {
+            if (!r.empty()) body(r.begin, r.end, lane);
+          });
+        });
+      } catch (...) {
+        group.fail(std::current_exception());
+      }
     }
     const Range r0 = even_chunk(n, size_, 0);
-    if (!r0.empty()) body(r0.begin, r0.end, 0);
-    done.wait();
+    try {
+      if (!r0.empty()) body(r0.begin, r0.end, 0);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // Join unconditionally before unwinding: the forked lanes capture this
+    // frame (group, body) by reference.
+    group.wait();
+    if (!error) error = group.error();
   }
   profile_.add(cat, sw.seconds());
+  if (error) std::rethrow_exception(error);
 }
 
 void TeamContext::sequential(perf::Category cat, const CostFn& cost,
                              const std::function<void()>& body) {
   (void)cost;
+  PHMSE_ASSERT(std::this_thread::get_id() == owner_);
   Stopwatch sw;
-  body();
+  std::exception_ptr error;
+  try {
+    body();
+  } catch (...) {
+    error = std::current_exception();
+  }
   profile_.add(cat, sw.seconds());
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace phmse::par

@@ -4,7 +4,16 @@
 // of the structure hierarchy.  The calling thread acts as lane 0 (it is
 // typically the first worker of the range, dispatched there by the tree
 // executor); lanes 1..k-1 run on the remaining workers of the range.
+//
+// Exception safety: parallel() and sequential() are exception-transparent.
+// If a body throws on any lane, every forked lane still arrives at the
+// join (no deadlock, no std::terminate), the elapsed time is still charged
+// to the kernel's category, and the first recorded exception — lane 0's
+// preferred — is rethrown on the calling lane.  The team and its pool
+// remain usable afterwards.
 #pragma once
+
+#include <thread>
 
 #include "parallel/exec.hpp"
 #include "parallel/thread_pool.hpp"
@@ -35,6 +44,10 @@ class TeamContext final : public ExecContext {
   int first_;
   int size_;
   perf::Profile profile_;
+  /// profile_ is written by the constructing (lane-0) thread only; the
+  /// kernel entry points assert this so a cross-thread write — a data race
+  /// TSan would flag — fails fast instead.
+  std::thread::id owner_;
 };
 
 }  // namespace phmse::par

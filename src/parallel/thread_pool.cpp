@@ -1,5 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
+#include <utility>
+
 #include "support/check.hpp"
 
 namespace phmse::par {
@@ -16,23 +18,41 @@ ThreadPool::ThreadPool(int workers) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  for (auto& slot : slots_) {
-    std::lock_guard<std::mutex> lock(slot->mutex);
-    slot->stop = true;
-    slot->cv.notify_all();
-  }
-  for (auto& t : threads_) t.join();
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    // Flip the acceptance flag first so in-flight tasks polling accepting()
+    // observe the teardown before their worker's stop bit is set.
+    accepting_.store(false, std::memory_order_release);
+    for (auto& slot : slots_) {
+      std::lock_guard<std::mutex> lock(slot->mutex);
+      slot->stop = true;
+      slot->cv.notify_all();
+    }
+    for (auto& t : threads_) t.join();
+  });
 }
 
 void ThreadPool::submit(int worker, std::function<void()> task) {
   PHMSE_CHECK(worker >= 0 && worker < size(), "worker id out of range");
+  PHMSE_CHECK(task != nullptr, "cannot submit an empty task");
+  PHMSE_CHECK(accepting(), "submit on a ThreadPool that is shutting down");
   Slot& slot = *slots_[static_cast<std::size_t>(worker)];
   {
     std::lock_guard<std::mutex> lock(slot.mutex);
+    // Re-check under the queue lock: after `stop` is set the worker may
+    // exit as soon as its queue is empty, so enqueueing here would drop
+    // the task on the floor.  Rejecting makes the race a hard error.
+    PHMSE_CHECK(!slot.stop, "submit on a ThreadPool that is shutting down");
     slot.queue.push_back(std::move(task));
   }
   slot.cv.notify_one();
+}
+
+std::exception_ptr ThreadPool::take_uncaught_error() noexcept {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return std::exchange(uncaught_, nullptr);
 }
 
 void ThreadPool::worker_loop(int id) {
@@ -46,18 +66,38 @@ void ThreadPool::worker_loop(int id) {
       task = std::move(slot.queue.front());
       slot.queue.pop_front();
     }
-    task();
+    // Backstop: an exception escaping here would std::terminate the whole
+    // process.  Fork-join layers catch before this point; a raw task that
+    // still throws is contained and its first exception retained.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!uncaught_) uncaught_ = std::current_exception();
+    }
   }
+}
+
+Latch::Latch(int count) : count_(count) {
+  PHMSE_CHECK(count >= 0, "latch count must be non-negative");
 }
 
 void Latch::count_down() {
   std::lock_guard<std::mutex> lock(mutex_);
+  PHMSE_CHECK(count_ > 0, "latch underflow: more arrivals than armed count");
   if (--count_ == 0) cv_.notify_all();
 }
 
 void Latch::wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return count_ <= 0; });
+}
+
+void Latch::reset(int count) {
+  PHMSE_CHECK(count >= 0, "latch count must be non-negative");
+  std::lock_guard<std::mutex> lock(mutex_);
+  PHMSE_CHECK(count_ == 0, "latch reset while arrivals are still pending");
+  count_ = count;
 }
 
 }  // namespace phmse::par

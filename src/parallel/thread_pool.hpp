@@ -4,10 +4,26 @@
 // to subtrees of the structure hierarchy (paper §4.3), so tasks are
 // submitted to a particular worker id.  Worker 0..P-1 mirror the paper's
 // processors 0..P-1.
+//
+// Lifecycle and error contract
+// ----------------------------
+//  * submit() is legal from any thread (including pool workers) until
+//    shutdown begins.  Once shutdown() starts — explicitly or via the
+//    destructor — submit() fails deterministically with phmse::Error
+//    instead of silently racing the teardown; the decision is made under
+//    the target worker's queue lock, so a task either runs to completion
+//    before the worker exits or is rejected, never dropped.
+//  * Tasks must not let exceptions escape: the fork-join layers (TaskGroup,
+//    TeamContext) capture exceptions and rethrow them on the joining lane.
+//    As a last-resort backstop a raw task that does throw is contained in
+//    worker_loop (no std::terminate); the first such exception is retained
+//    and can be inspected with take_uncaught_error().
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -25,13 +41,32 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Joins all workers; pending tasks are completed first.
+  /// Equivalent to shutdown().
   ~ThreadPool();
+
+  /// Stops accepting work, lets every worker drain its queue, and joins
+  /// all worker threads.  Idempotent; concurrent callers block until the
+  /// first call completes.  Must not be called from a pool worker (a
+  /// worker cannot join itself).
+  void shutdown();
+
+  /// True until shutdown() begins.  Tasks that outlive their submitter can
+  /// poll this to bail out of long waits during teardown.
+  bool accepting() const noexcept {
+    return accepting_.load(std::memory_order_acquire);
+  }
 
   int size() const { return static_cast<int>(slots_.size()); }
 
-  /// Enqueues `task` for execution on worker `worker`.
+  /// Enqueues `task` for execution on worker `worker`.  Throws phmse::Error
+  /// if `worker` is out of range, `task` is empty, or shutdown has begun
+  /// (submit-after-stop is a contract violation, not a silent no-op).
   void submit(int worker, std::function<void()> task);
+
+  /// Returns and clears the first exception that escaped a raw submitted
+  /// task (nullptr if none).  Fork-join layers never trip this — they
+  /// capture exceptions before they reach the worker loop.
+  std::exception_ptr take_uncaught_error() noexcept;
 
  private:
   struct Slot {
@@ -45,15 +80,37 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<std::thread> threads_;
+  std::once_flag shutdown_once_;
+  std::atomic<bool> accepting_{true};
+  std::mutex error_mutex_;
+  std::exception_ptr uncaught_;
 };
 
 /// A completion latch: counts down to zero, wait() blocks until it does.
+/// Single-use by default: counting below zero throws phmse::Error (it
+/// would otherwise mask a lost-wakeup or double-arrival bug).  reset()
+/// re-arms a drained latch for reuse once no waiter can still be inside
+/// wait().
 class Latch {
  public:
-  explicit Latch(int count) : count_(count) {}
+  /// `count` >= 0; with count 0 the latch starts open (wait() returns
+  /// immediately).
+  explicit Latch(int count);
 
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  /// Records one arrival.  Throws phmse::Error on underflow (more
+  /// count_down() calls than the armed count).
   void count_down();
+
+  /// Blocks until the count reaches zero.
   void wait();
+
+  /// Re-arms a drained latch with a new count.  The caller must ensure all
+  /// prior waiters have returned from wait(); throws phmse::Error if the
+  /// current count is not yet zero.
+  void reset(int count);
 
  private:
   std::mutex mutex_;

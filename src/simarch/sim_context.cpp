@@ -1,6 +1,7 @@
 #include "simarch/sim_context.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "parallel/partition.hpp"
 #include "support/check.hpp"
@@ -82,15 +83,24 @@ void SimContext::parallel(perf::Category cat, Index n, const par::CostFn& cost,
                           const par::BodyFn& body) {
   const auto& cfg = machine_.config();
   double max_dt = 0.0;
-  for (int lane = 0; lane < size_; ++lane) {
+  std::exception_ptr error;
+  for (int lane = 0; lane < size_ && !error; ++lane) {
     const par::Range r = par::even_chunk(n, size_, lane);
     if (r.empty()) continue;
     const par::KernelStats stats = cost(r.begin, r.end);
     max_dt = std::max(
         max_dt, chunk_time(cfg, stats, team_clusters_, cfg.processors));
-    body(r.begin, r.end, lane);
+    // Exception transparency (see ExecContext): a throwing lane body still
+    // charges the virtual clocks of the whole team — the simulated machine
+    // stays consistent — and the exception surfaces on the calling lane.
+    try {
+      body(r.begin, r.end, lane);
+    } catch (...) {
+      error = std::current_exception();
+    }
   }
   charge_all(cat, max_dt + barrier_time(cfg, size_));
+  if (error) std::rethrow_exception(error);
 }
 
 void SimContext::sequential(perf::Category cat, const par::CostFn& cost,
@@ -98,8 +108,14 @@ void SimContext::sequential(perf::Category cat, const par::CostFn& cost,
   const auto& cfg = machine_.config();
   const par::KernelStats stats = cost(0, 1);
   const double dt = chunk_time(cfg, stats, team_clusters_, cfg.processors);
-  body();
+  std::exception_ptr error;
+  try {
+    body();
+  } catch (...) {
+    error = std::current_exception();
+  }
   charge_all(cat, dt + barrier_time(cfg, size_));
+  if (error) std::rethrow_exception(error);
 }
 
 const perf::Profile& SimContext::profile() const {

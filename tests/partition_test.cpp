@@ -53,6 +53,40 @@ TEST(EvenChunk, MatchesSplitEvenly) {
   }
 }
 
+TEST(EvenChunk, EmptyRangeYieldsAllEmptyChunks) {
+  for (int p : {1, 2, 8}) {
+    for (int lane = 0; lane < p; ++lane) {
+      const Range r = even_chunk(0, p, lane);
+      EXPECT_TRUE(r.empty()) << "p=" << p << " lane=" << lane;
+      EXPECT_EQ(r.begin, 0);
+    }
+  }
+}
+
+TEST(EvenChunk, FewerElementsThanLanesStillCoversExactly) {
+  // n < parts: the first n lanes get one element each, the rest are empty —
+  // the adversarial shape TeamContext forks with when n is just below the
+  // team width.
+  for (Index n : {1, 2, 3, 7}) {
+    for (int p : {2, 4, 8, 16}) {
+      if (n >= p) continue;
+      Index total = 0;
+      for (int lane = 0; lane < p; ++lane) {
+        const Range r = even_chunk(n, p, lane);
+        EXPECT_LE(r.size(), 1);
+        EXPECT_EQ(r.size(), lane < n ? 1 : 0) << "n=" << n << " p=" << p;
+        total += r.size();
+      }
+      EXPECT_EQ(total, n);
+    }
+  }
+}
+
+TEST(EvenChunk, SingleLaneTakesWholeRange) {
+  EXPECT_EQ(even_chunk(42, 1, 0), (Range{0, 42}));
+  EXPECT_EQ(even_chunk(0, 1, 0), (Range{0, 0}));
+}
+
 TEST(EvenChunk, RejectsBadLane) {
   EXPECT_THROW(even_chunk(10, 2, 2), Error);
   EXPECT_THROW(even_chunk(10, 2, -1), Error);

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <vector>
 
 #include "parallel/exec.hpp"
+#include "parallel/task_group.hpp"
 #include "parallel/team.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/check.hpp"
@@ -68,6 +70,39 @@ TEST(ThreadPool, DrainsPendingTasksOnDestruction) {
   EXPECT_EQ(hits.load(), 50);
 }
 
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(0, std::function<void()>{}), Error);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.accepting());
+  pool.shutdown();
+  EXPECT_FALSE(pool.accepting());
+  EXPECT_THROW(pool.submit(0, [] {}), Error);
+  EXPECT_THROW(pool.submit(1, [] {}), Error);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotKillWorker) {
+  ThreadPool pool(1);
+  Latch done(2);
+  std::atomic<int> hits{0};
+  pool.submit(0, [&] {
+    done.count_down();
+    throw Error("task failed");
+  });
+  pool.submit(0, [&] {
+    ++hits;
+    done.count_down();
+  });
+  done.wait();
+  EXPECT_EQ(hits.load(), 1);
+  const std::exception_ptr err = pool.take_uncaught_error();
+  ASSERT_NE(err, nullptr);
+  EXPECT_THROW(std::rethrow_exception(err), Error);
+}
+
 TEST(Latch, WaitReturnsAfterCountDowns) {
   Latch latch(2);
   std::atomic<bool> released{false};
@@ -80,6 +115,95 @@ TEST(Latch, WaitReturnsAfterCountDowns) {
   latch.count_down();
   t.join();
   EXPECT_TRUE(released.load());
+}
+
+TEST(Latch, ZeroCountStartsOpen) {
+  Latch latch(0);
+  latch.wait();  // must return immediately, not block
+}
+
+TEST(Latch, RejectsNegativeCount) {
+  EXPECT_THROW((void)Latch(-1), Error);
+}
+
+TEST(Latch, UnderflowThrowsInsteadOfWrappingAround) {
+  Latch latch(1);
+  latch.count_down();
+  EXPECT_THROW(latch.count_down(), Error);
+  Latch zero(0);
+  EXPECT_THROW(zero.count_down(), Error);
+}
+
+TEST(Latch, ResetReArmsADrainedLatch) {
+  Latch latch(1);
+  latch.count_down();
+  latch.wait();
+  latch.reset(2);
+  std::atomic<bool> released{false};
+  std::thread t([&] {
+    latch.wait();
+    released = true;
+  });
+  latch.count_down();
+  EXPECT_FALSE(released.load());
+  latch.count_down();
+  t.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(Latch, ResetWhileArrivalsPendingThrows) {
+  Latch latch(2);
+  latch.count_down();
+  EXPECT_THROW(latch.reset(3), Error);
+  EXPECT_THROW(latch.reset(-1), Error);
+}
+
+TEST(Latch, ConcurrentCountDownAndWait) {
+  constexpr int kArrivals = 16;
+  Latch latch(kArrivals);
+  std::vector<std::thread> threads;
+  threads.reserve(kArrivals);
+  for (int i = 0; i < kArrivals; ++i) {
+    threads.emplace_back([&] { latch.count_down(); });
+  }
+  latch.wait();  // races with the arrivals; must neither hang nor underflow
+  for (auto& t : threads) t.join();
+}
+
+TEST(TaskGroup, JoinRethrowsFirstRecordedException) {
+  TaskGroup group(2);
+  group.run([] {});
+  group.run([] { throw Error("forked failure"); });
+  EXPECT_NE(group.error(), nullptr);
+  EXPECT_THROW(group.join(), Error);
+}
+
+TEST(TaskGroup, CleanRunsJoinWithoutError) {
+  TaskGroup group(3);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 3; ++i) group.run([&] { ++hits; });
+  group.join();
+  EXPECT_EQ(hits.load(), 3);
+  EXPECT_EQ(group.error(), nullptr);
+}
+
+TEST(TeamContext, ThrowingLaneBodyRethrownOnCaller) {
+  ThreadPool pool(4);
+  TeamContext ctx(pool, 0, 4);
+  EXPECT_THROW(ctx.parallel(
+                   perf::Category::kVector, 100,
+                   [](Index, Index) { return KernelStats{}; },
+                   [](Index, Index, int lane) {
+                     if (lane == 3) throw Error("remote lane failed");
+                   }),
+               Error);
+  // The join still happened: the same team runs clean work afterwards.
+  std::atomic<int> count{0};
+  ctx.parallel(
+      perf::Category::kVector, 100,
+      [](Index, Index) { return KernelStats{}; },
+      [&](Index b, Index e, int) { count += static_cast<int>(e - b); });
+  EXPECT_EQ(count.load(), 100);
 }
 
 TEST(SerialContext, RunsWholeRangeOnce) {
