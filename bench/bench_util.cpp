@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
+#include "support/check.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
+#include "support/stopwatch.hpp"
 #include "support/table.hpp"
 
 namespace phmse::bench {
@@ -94,6 +97,80 @@ int run_speedup_table(const SpeedupSpec& spec) {
               spec.machine.name.c_str());
   std::printf("%s\n", spec.paper_note.c_str());
   return 0;
+}
+
+double time_best(const std::function<void()>& fn, int min_reps,
+                 int* reps_out) {
+  // One warm-up rep also sizes the adaptive rep count.
+  Stopwatch warm;
+  fn();
+  const double first = warm.seconds();
+  int reps = min_reps;
+  if (first > 0.0) {
+    const double target_total = 0.1;  // ~100 ms of timed work per config
+    reps = std::clamp(static_cast<int>(target_total / first) + 1, min_reps,
+                      128);
+  }
+  // Minimum over reps, not the median: the best rep approximates the
+  // kernel's unloaded speed even when a co-tenant steals the machine for
+  // stretches longer than a whole rep, which would drag the median.
+  double best = first;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.seconds());
+  }
+  if (reps_out != nullptr) *reps_out = reps;
+  return best;
+}
+
+namespace {
+
+// Minimal JSON string escaping (kernel/impl names are plain identifiers,
+// but paths in error messages deserve correctness anyway).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_kernel_bench_json(const std::string& path,
+                             const std::vector<KernelBenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PHMSE_CHECK(f != nullptr,
+              "write_kernel_bench_json: cannot open " + path);
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"phmse-kernel-bench-v1\",\n");
+  std::fprintf(f, "  \"bench_scale\": %.4g,\n", bench_scale());
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const KernelBenchRecord& r = records[i];
+    std::fprintf(
+        f,
+        "    {\"kernel\": \"%s\", \"impl\": \"%s\", \"m\": %lld, "
+        "\"n\": %lld, \"threads\": %d, \"reps\": %d, "
+        "\"seconds\": %.6e, \"flops\": %.6e, \"bytes\": %.6e, "
+        "\"gflops\": %.4f, \"gbytes_per_sec\": %.4f}%s\n",
+        json_escape(r.kernel).c_str(), json_escape(r.impl).c_str(),
+        static_cast<long long>(r.m), static_cast<long long>(r.n), r.threads,
+        r.reps, r.seconds, r.flops, r.bytes, r.gflops(), r.gbytes_per_sec(),
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  const bool ok = std::fclose(f) == 0;
+  PHMSE_CHECK(ok, "write_kernel_bench_json: write failed for " + path);
 }
 
 void print_header(const std::string& table_id, const std::string& title) {

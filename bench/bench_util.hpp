@@ -7,7 +7,9 @@
 //   PHMSE_BENCH_SEED   — RNG seed for initial-estimate perturbations.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "constraints/helix_gen.hpp"
 #include "constraints/ribo_gen.hpp"
@@ -74,5 +76,45 @@ struct SpeedupSpec {
 /// hierarchical solve on the simulated machine and prints work time,
 /// speedup and the per-category breakdown in the paper's table layout.
 int run_speedup_table(const SpeedupSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Machine-readable perf-regression records (bench/kernels_regress.cpp).
+//
+// The JSON document ("phmse-kernel-bench-v1") is consumed by
+// scripts/bench_check.py, which compares a fresh run against the committed
+// BENCH_kernels.json baseline with a tolerance band.
+
+/// One timed kernel configuration.
+struct KernelBenchRecord {
+  std::string kernel;  // "covariance_downdate", "gram", "trsm_lower", ...
+  std::string impl;    // "blocked" (production) or "ref" (scalar oracle)
+  Index m = 0;         // batch rows (L size for trsm, 0 for cholesky)
+  Index n = 0;         // state dimension / RHS width / factor size
+  int threads = 1;     // ExecContext width the kernel ran on
+  int reps = 0;        // timed repetitions (best rep reported)
+  double seconds = 0.0;  // best (minimum) wall time of one repetition
+  double flops = 0.0;    // useful floating-point work of one repetition
+  double bytes = 0.0;    // compulsory memory traffic of one repetition
+
+  double gflops() const {
+    return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;
+  }
+  double gbytes_per_sec() const {
+    return seconds > 0.0 ? bytes / seconds * 1e-9 : 0.0;
+  }
+};
+
+/// Times `fn` adaptively (at least `min_reps` repetitions, more for fast
+/// kernels until ~100 ms total) and returns the best (minimum) single-rep
+/// seconds with the rep count in `*reps_out`.  The minimum — not the
+/// median — is reported so that background load on a shared machine does
+/// not masquerade as a kernel regression.
+double time_best(const std::function<void()>& fn, int min_reps,
+                 int* reps_out);
+
+/// Writes `records` to `path` as a phmse-kernel-bench-v1 JSON document.
+/// Throws phmse::Error if the file cannot be written.
+void write_kernel_bench_json(const std::string& path,
+                             const std::vector<KernelBenchRecord>& records);
 
 }  // namespace phmse::bench

@@ -1,0 +1,234 @@
+// Perf-regression harness for the blocked dense kernels.
+//
+// Times every rewritten kernel (blocked production implementation vs the
+// frozen linalg::ref scalar baseline) over the hot shapes of the Fig.-1
+// update and the Fig.-3 combination, then writes the machine-readable
+// BENCH_kernels.json consumed by scripts/bench_check.py.  Run from the
+// repository root so the JSON lands next to the committed baseline:
+//
+//   ./build/bench/kernels_regress            # writes BENCH_kernels.json
+//   ./build/bench/kernels_regress out.json   # explicit output path
+//
+// Honours PHMSE_BENCH_SCALE (< 0.5 switches to tiny smoke shapes for CI),
+// PHMSE_BENCH_SEED and PHMSE_BENCH_OUT (default output path).
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/ref_kernels.hpp"
+#include "parallel/exec.hpp"
+#include "parallel/team.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::bench {
+namespace {
+
+using linalg::Matrix;
+
+Matrix random_matrix(Index rows, Index cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) m(i, j) = rng.gaussian();
+  }
+  return m;
+}
+
+Matrix random_spd(Index n, Rng& rng) {
+  const Matrix a = random_matrix(n, n, rng);
+  Matrix s = linalg::matmul(a, linalg::transpose(a));
+  for (Index i = 0; i < n; ++i) s(i, i) += static_cast<double>(n);
+  return s;
+}
+
+// Runs `fn(ctx)` under a SerialContext (threads == 1) or a TeamContext.
+template <class Fn>
+void with_context(int threads, const Fn& fn) {
+  if (threads <= 1) {
+    par::SerialContext ctx;
+    fn(ctx);
+  } else {
+    par::ThreadPool pool(threads);
+    par::TeamContext team(pool, 0, threads);
+    fn(team);
+  }
+}
+
+struct Harness {
+  std::vector<KernelBenchRecord> records;
+
+  // Times one (kernel, impl, shape, threads) configuration.
+  void run(const std::string& kernel, const std::string& impl, Index m,
+           Index n, int threads, double flops, double bytes,
+           const std::function<void(par::ExecContext&)>& body) {
+    KernelBenchRecord rec;
+    rec.kernel = kernel;
+    rec.impl = impl;
+    rec.m = m;
+    rec.n = n;
+    rec.threads = threads;
+    rec.flops = flops;
+    rec.bytes = bytes;
+    with_context(threads, [&](par::ExecContext& ctx) {
+      rec.seconds = time_best([&] { body(ctx); }, 3, &rec.reps);
+    });
+    records.push_back(rec);
+    std::printf("  %-24s %-8s m=%-5lld n=%-5lld t=%d  %9.3f us  %8.3f GF/s\n",
+                kernel.c_str(), impl.c_str(), static_cast<long long>(m),
+                static_cast<long long>(n), threads, rec.seconds * 1e6,
+                rec.gflops());
+  }
+};
+
+int run_all(const std::string& out_path) {
+  print_header("kernels_regress",
+               "blocked dense kernels vs scalar reference (perf trajectory)");
+
+  const bool smoke = bench_scale() < 0.5;
+  const std::vector<Index> dims =
+      smoke ? std::vector<Index>{33, 64} : std::vector<Index>{129, 512, 1024};
+  const std::vector<Index> trsm_sizes =
+      smoke ? std::vector<Index>{32} : std::vector<Index>{128, 512};
+  const Index trsm_rhs = smoke ? 64 : 512;
+  const std::vector<Index> chol_sizes =
+      smoke ? std::vector<Index>{48} : std::vector<Index>{128, 512};
+  const Index m = 16;  // the paper's recommended constraint batch size
+
+  std::vector<int> thread_counts{1};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 1) thread_counts.push_back(hw);
+
+  Rng rng(static_cast<std::uint64_t>(env_long("PHMSE_BENCH_SEED", 1234)));
+  Harness h;
+
+  for (const Index n : dims) {
+    const Matrix v = random_matrix(m, n, rng);
+    const Matrix g = random_matrix(m, n, rng);
+    Matrix c0 = random_spd(n, rng);
+    const double flops = 2.0 * static_cast<double>(m) *
+                         static_cast<double>(n) * static_cast<double>(n);
+    const double bytes =
+        8.0 * (2.0 * static_cast<double>(n) * static_cast<double>(n) +
+               static_cast<double>(m) * static_cast<double>(n));
+    // The downdate accumulates (C -= V^T G), so the timed body can run on
+    // the same matrix repeatedly without a reset — the reset's memory
+    // traffic would otherwise dominate the measurement at large n.
+    Matrix c = c0;
+    for (const int t : thread_counts) {
+      h.run("covariance_downdate", "blocked", m, n, t, flops, bytes,
+            [&](par::ExecContext& ctx) {
+              linalg::covariance_downdate(ctx, v, g, c);
+            });
+      c = c0;
+      h.run("covariance_downdate", "ref", m, n, t, flops, bytes,
+            [&](par::ExecContext& ctx) {
+              linalg::ref::covariance_downdate(ctx, v, g, c);
+            });
+      Matrix out;
+      h.run("gram", "blocked", m, n, t, flops, bytes,
+            [&](par::ExecContext& ctx) { linalg::gram(ctx, v, out); });
+      h.run("gram", "ref", m, n, t, flops, bytes,
+            [&](par::ExecContext& ctx) { linalg::ref::gram(ctx, v, out); });
+    }
+  }
+
+  for (const Index sz : trsm_sizes) {
+    Matrix l = random_spd(sz, rng);
+    linalg::cholesky_serial(l);
+    const Matrix b0 = random_matrix(sz, trsm_rhs, rng);
+    const double flops = static_cast<double>(trsm_rhs) *
+                         static_cast<double>(sz) * static_cast<double>(sz);
+    const double bytes =
+        8.0 * (static_cast<double>(trsm_rhs) * static_cast<double>(sz) +
+               0.5 * static_cast<double>(sz) * static_cast<double>(sz));
+    Matrix b = b0;
+    for (const int t : thread_counts) {
+      h.run("trsm_lower", "blocked", sz, trsm_rhs, t, flops, bytes,
+            [&](par::ExecContext& ctx) {
+              b = b0;
+              linalg::trsm_lower(ctx, l, b);
+            });
+      h.run("trsm_lower", "ref", sz, trsm_rhs, t, flops, bytes,
+            [&](par::ExecContext& ctx) {
+              b = b0;
+              linalg::ref::trsm_lower(ctx, l, b);
+            });
+      h.run("trsm_lower_transposed", "blocked", sz, trsm_rhs, t, flops,
+            bytes, [&](par::ExecContext& ctx) {
+              b = b0;
+              linalg::trsm_lower_transposed(ctx, l, b);
+            });
+      h.run("trsm_lower_transposed", "ref", sz, trsm_rhs, t, flops, bytes,
+            [&](par::ExecContext& ctx) {
+              b = b0;
+              linalg::ref::trsm_lower_transposed(ctx, l, b);
+            });
+    }
+  }
+
+  for (const Index sz : chol_sizes) {
+    const Matrix s = random_spd(sz, rng);
+    const double flops = static_cast<double>(sz) * static_cast<double>(sz) *
+                         static_cast<double>(sz) / 3.0;
+    const double bytes = 8.0 * static_cast<double>(sz) *
+                         static_cast<double>(sz);
+    Matrix a = s;
+    for (const int t : thread_counts) {
+      h.run("cholesky", "blocked", 0, sz, t, flops, bytes,
+            [&](par::ExecContext& ctx) {
+              a = s;
+              linalg::cholesky(ctx, a);
+            });
+      h.run("cholesky", "ref", 0, sz, t, flops, bytes,
+            [&](par::ExecContext& ctx) {
+              a = s;
+              linalg::ref::cholesky(ctx, a);
+            });
+    }
+  }
+
+  write_kernel_bench_json(out_path, h.records);
+  std::printf("\nwrote %zu records to %s\n", h.records.size(),
+              out_path.c_str());
+
+  // Headline: single-thread blocked-vs-ref speedup per kernel at the
+  // largest measured shape (the acceptance bar is >= 2x for
+  // covariance_downdate and gram at n >= 512).
+  std::printf("single-thread speedups (blocked vs ref, largest shape):\n");
+  for (const std::string kernel :
+       {"covariance_downdate", "gram", "trsm_lower",
+        "trsm_lower_transposed", "cholesky"}) {
+    const KernelBenchRecord* blocked = nullptr;
+    const KernelBenchRecord* ref = nullptr;
+    for (const KernelBenchRecord& r : h.records) {
+      if (r.kernel != kernel || r.threads != 1) continue;
+      if (r.impl == "blocked" &&
+          (blocked == nullptr || r.n > blocked->n)) {
+        blocked = &r;
+      }
+      if (r.impl == "ref" && (ref == nullptr || r.n > ref->n)) ref = &r;
+    }
+    if (blocked != nullptr && ref != nullptr && blocked->seconds > 0.0) {
+      std::printf("  %-24s n=%-5lld %.2fx (%.2f vs %.2f GF/s)\n",
+                  kernel.c_str(), static_cast<long long>(blocked->n),
+                  ref->seconds / blocked->seconds, blocked->gflops(),
+                  ref->gflops());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace phmse::bench
+
+int main(int argc, char** argv) {
+  const std::string out =
+      argc > 1 ? argv[1]
+               : phmse::env_string("PHMSE_BENCH_OUT", "BENCH_kernels.json");
+  return phmse::bench::run_all(out);
+}

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Validate and compare phmse-kernel-bench-v1 JSON documents.
+
+Produced by bench/kernels_regress (see DESIGN.md §7).  Two modes:
+
+  Validate only (schema + internal consistency):
+      scripts/bench_check.py --validate BENCH_kernels.json
+
+  Compare a fresh run against the committed baseline:
+      scripts/bench_check.py --baseline BENCH_kernels.json \
+          --current build/BENCH_kernels.json [--tolerance 0.25] [--report-only]
+
+Records are matched by (kernel, impl, m, n, threads).  A configuration
+regresses when its best-rep time exceeds the baseline by more than the
+tolerance band (default 25% — wide because the harness runs on shared
+machines; the best-rep timing in bench_util already rejects most co-tenant
+noise).  Matched configs that got faster, and configs present on only one
+side, are reported but never fail the check.  --report-only prints the
+comparison but always exits 0 (used by the CI smoke job, whose tiny shapes
+are not comparable to the committed full-scale baseline).
+
+Exit status: 0 ok / report-only, 1 regression found, 2 invalid input.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "phmse-kernel-bench-v1"
+KNOWN_KERNELS = {
+    "covariance_downdate",
+    "gram",
+    "trsm_lower",
+    "trsm_lower_transposed",
+    "cholesky",
+}
+KNOWN_IMPLS = {"blocked", "ref"}
+
+REQUIRED_FIELDS = {
+    "kernel": str,
+    "impl": str,
+    "m": int,
+    "n": int,
+    "threads": int,
+    "reps": int,
+    "seconds": float,
+    "flops": float,
+    "bytes": float,
+    "gflops": float,
+    "gbytes_per_sec": float,
+}
+
+
+def fail(msg):
+    print(f"bench_check: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: {exc}")
+    validate(doc, path)
+    return doc
+
+
+def validate(doc, path):
+    """Schema check; exits 2 with a pointed message on the first violation."""
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not isinstance(doc.get("bench_scale"), (int, float)):
+        fail(f"{path}: missing numeric bench_scale")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        fail(f"{path}: results must be a non-empty array")
+    seen = set()
+    for i, rec in enumerate(results):
+        where = f"{path}: results[{i}]"
+        if not isinstance(rec, dict):
+            fail(f"{where}: must be an object")
+        for field, ftype in REQUIRED_FIELDS.items():
+            if field not in rec:
+                fail(f"{where}: missing field {field!r}")
+            value = rec[field]
+            if ftype is float:
+                if not isinstance(value, (int, float)):
+                    fail(f"{where}: {field} must be a number")
+            elif not isinstance(value, ftype):
+                fail(f"{where}: {field} must be {ftype.__name__}")
+        if rec["kernel"] not in KNOWN_KERNELS:
+            fail(f"{where}: unknown kernel {rec['kernel']!r}")
+        if rec["impl"] not in KNOWN_IMPLS:
+            fail(f"{where}: unknown impl {rec['impl']!r}")
+        if rec["seconds"] <= 0 or rec["reps"] <= 0:
+            fail(f"{where}: seconds and reps must be positive")
+        k = key(rec)
+        if k in seen:
+            fail(f"{where}: duplicate configuration {k}")
+        seen.add(k)
+
+
+def key(rec):
+    return (rec["kernel"], rec["impl"], rec["m"], rec["n"], rec["threads"])
+
+
+def compare(baseline, current, tolerance):
+    """Returns (lines, regression_count) for the matched configurations."""
+    base = {key(r): r for r in baseline["results"]}
+    curr = {key(r): r for r in current["results"]}
+    lines = []
+    regressions = 0
+    for k in sorted(base.keys() | curr.keys()):
+        tag = "{}/{} m={} n={} t={}".format(k[0], k[1], k[2], k[3], k[4])
+        if k not in curr:
+            lines.append(f"  MISSING  {tag} (in baseline only)")
+            continue
+        if k not in base:
+            lines.append(f"  NEW      {tag} (no baseline)")
+            continue
+        b, c = base[k]["seconds"], curr[k]["seconds"]
+        ratio = c / b
+        if ratio > 1.0 + tolerance:
+            regressions += 1
+            verdict = "REGRESS"
+        elif ratio < 1.0 - tolerance:
+            verdict = "faster"
+        else:
+            verdict = "ok"
+        lines.append(
+            "  {:8s} {} {:.3e}s -> {:.3e}s ({:+.1f}%)".format(
+                verdict, tag, b, c, 100.0 * (ratio - 1.0)
+            )
+        )
+    return lines, regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--validate", metavar="JSON",
+                    help="validate a single document and exit")
+    ap.add_argument("--baseline", metavar="JSON",
+                    help="committed baseline document")
+    ap.add_argument("--current", metavar="JSON",
+                    help="freshly produced document to compare")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed slowdown fraction (default 0.25)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="print the comparison but always exit 0")
+    args = ap.parse_args()
+
+    if args.validate:
+        load(args.validate)
+        print(f"bench_check: {args.validate}: valid {SCHEMA}")
+        return 0
+
+    if not args.baseline or not args.current:
+        ap.error("need --validate, or both --baseline and --current")
+    if args.tolerance < 0:
+        ap.error("--tolerance must be >= 0")
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if baseline["bench_scale"] != current["bench_scale"]:
+        print(
+            "bench_check: note: bench_scale differs "
+            f"({baseline['bench_scale']} vs {current['bench_scale']}); "
+            "timings are not directly comparable"
+        )
+
+    lines, regressions = compare(baseline, current, args.tolerance)
+    print(f"bench_check: {args.baseline} vs {args.current} "
+          f"(tolerance {args.tolerance:.0%}):")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"bench_check: {regressions} configuration(s) regressed")
+        return 0 if args.report_only else 1
+    print("bench_check: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

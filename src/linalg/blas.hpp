@@ -43,4 +43,60 @@ void trsv_lower_transposed(const Matrix& l, Vector& x);
 /// Fig. 3 combination procedure use this.
 Matrix spd_solve(const Matrix& a, const Matrix& b);
 
+// ---------------------------------------------------------------------------
+// Blocked GEMM panel updates (see DESIGN.md §7).
+//
+// These are the register-tiled building blocks behind the hot kernels in
+// kernels.cpp and cholesky.cpp.  Both compute a rank-kk update of a C panel:
+//
+//   gemm_nn_acc:  C (mm x nn) += alpha * A (mm x kk) * B (kk x nn)
+//   gemm_tn_acc:  C (mm x nn) += alpha * A^T * B,  A stored kk x mm
+//
+// Implementation contract (the oracle tests rely on it):
+//   * the reduction over kk runs in strictly ascending order for every
+//     output element, as one std::fma chain, so a given element's rounding
+//     is identical no matter which row tile or column strip it lands in —
+//     this is what keeps serial and threaded kernel output bitwise equal
+//     when lane boundaries cut through a tile;
+//   * rows are processed in register tiles of kGemmRowTile and columns in
+//     L1-sized strips of kGemmColStrip, which is where the speedup over the
+//     scalar ref:: kernels comes from (each B row load is shared by
+//     kGemmRowTile output rows, and each C row is loaded/stored once per
+//     kGemmReduceTile reduction steps instead of once per step).
+
+/// Rows of C per register tile (MR of the micro-kernel).
+inline constexpr Index kGemmRowTile = 8;
+/// Reduction-dimension unroll of the micro-kernel (KR).  Any value yields
+/// bitwise-identical results (the chain order never changes); 8 matches
+/// the paper's recommended constraint batch m = 16 with no remainder.
+inline constexpr Index kGemmReduceTile = 8;
+/// Columns (doubles) per L1-resident strip: kGemmRowTile C rows plus
+/// kGemmReduceTile B rows at 256 doubles each is 32 KiB, inside a typical
+/// 48 KiB L1D.
+inline constexpr Index kGemmColStrip = 256;
+/// Row-block size of the blocked triangular solves (the L diagonal block,
+/// kTrsmBlock^2 doubles = 8 KiB, stays L1-resident while it sweeps the
+/// right-hand-side strip).
+inline constexpr Index kTrsmBlock = 32;
+
+/// C += alpha * A * B.  A: mm x kk with leading dimension lda, B: kk x nn
+/// (ldb), C: mm x nn (ldc).  Empty dimensions are no-ops.
+void gemm_nn_acc(double alpha, const double* a, Index lda, const double* b,
+                 Index ldb, double* c, Index ldc, Index mm, Index kk,
+                 Index nn);
+
+/// C += alpha * A^T * B with A stored kk x mm (lda); otherwise identical to
+/// gemm_nn_acc.
+void gemm_tn_acc(double alpha, const double* a, Index lda, const double* b,
+                 Index ldb, double* c, Index ldc, Index mm, Index kk,
+                 Index nn);
+
+/// C = alpha * A^T * B (overwriting): bitwise identical to zero-filling the
+/// C panel and then calling gemm_tn_acc, but the zeroing happens strip by
+/// strip while the cleared bytes are still cache-hot, saving a full memory
+/// pass over C.  With kk == 0 the panel is simply zeroed.
+void gemm_tn_zero_acc(double alpha, const double* a, Index lda,
+                      const double* b, Index ldb, double* c, Index ldc,
+                      Index mm, Index kk, Index nn);
+
 }  // namespace phmse::linalg

@@ -1,5 +1,6 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/blas.hpp"
@@ -37,6 +38,14 @@ void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
   PHMSE_CHECK(block_size >= 1, "cholesky: block size must be >= 1");
   const Index n = a.rows();
 
+  // Transposed copy of the solved panel (A21^T, b x rest), written as a
+  // side product of the row solve and consumed by the blocked trailing
+  // update: with it the trailing GEMM streams unit-stride rows of both
+  // operands, which is what lets the register tiles vectorize.  Allocated
+  // once at the maximum panel size and reused across panels.
+  Matrix a21t;
+  if (n > block_size) a21t.resize_zero(std::min(block_size, n), n);
+
   for (Index k = 0; k < n; k += block_size) {
     const Index b = std::min(block_size, n - k);
 
@@ -55,7 +64,8 @@ void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
     const Index rest = n - (k + b);
     if (rest <= 0) continue;
 
-    // Row solve: A[k+b.., k..k+b) <- A[k+b.., k..k+b) * L11^{-T}.
+    // Row solve: A[k+b.., k..k+b) <- A[k+b.., k..k+b) * L11^{-T}, scattering
+    // the result into A21^T for the trailing update.
     ctx.parallel(
         Category::kCholesky, rest,
         [&](Index begin, Index end) {
@@ -63,7 +73,8 @@ void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
           const double rows = static_cast<double>(end - begin);
           const double bd = static_cast<double>(b);
           st.flops = rows * bd * bd;
-          st.bytes_stream = kBytes * rows * bd * 2.0;
+          // Panel rows read+written plus the A21^T scatter.
+          st.bytes_stream = kBytes * rows * bd * 3.0;
           return st;
         },
         [&](Index begin, Index end, int /*lane*/) {
@@ -72,35 +83,48 @@ void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
             double* arow = a.row(i).data();
             for (Index j = k; j < k + b; ++j) {
               double s = arow[j] - dot(arow + k, a.row(j).data() + k, j - k);
-              arow[j] = s / a(j, j);
+              s /= a(j, j);
+              arow[j] = s;
+              a21t(j - k, ii) = s;
             }
           }
         });
 
-    // Trailing update: A22 -= A21 * A21^T (lower triangle only).
+    // Trailing update: A22 -= A21 * A21^T as register-tiled GEMM panels.
+    // Each kGemmRowTile-row tile updates the rectangle up to its last row's
+    // diagonal; the few entries this touches above the diagonal are never
+    // read by later panels and are zeroed with the rest of the strict upper
+    // triangle at the end.
     ctx.parallel(
         Category::kCholesky, rest,
         [&](Index begin, Index end) {
           KernelStats st;
           const double bd = static_cast<double>(b);
-          // Row i of the trailing block updates i+1 partial dots of width b.
+          const double rows = static_cast<double>(end - begin);
+          // Row ii of the trailing block updates ~ii+1 entries of width-b
+          // reductions (read+write), streaming its A21 row once; the
+          // b x kGemmColStrip panel of A21^T stays resident per row tile.
           double inner = 0.0;
           for (Index ii = begin; ii < end; ++ii) {
             inner += static_cast<double>(ii + 1);
           }
           st.flops = 2.0 * inner * bd;
-          st.bytes_stream = kBytes * inner * 1.0 +
-                            kBytes * static_cast<double>(end - begin) * bd;
+          st.bytes_stream = kBytes * (2.0 * inner + rows * bd);
+          st.resident_bytes =
+              kBytes * bd *
+              static_cast<double>(std::min(rest, kGemmColStrip));
+          st.resident_sweeps = rows / static_cast<double>(kGemmRowTile);
           return st;
         },
         [&](Index begin, Index end, int /*lane*/) {
-          for (Index ii = begin; ii < end; ++ii) {
-            const Index i = k + b + ii;
-            const double* ai = a.row(i).data() + k;
-            double* arow = a.row(i).data();
-            for (Index j = k + b; j <= i; ++j) {
-              arow[j] -= dot(ai, a.row(j).data() + k, b);
-            }
+          double* const base = a.data();
+          const double* const tdata = a21t.data();
+          for (Index i0 = begin; i0 < end; i0 += kGemmRowTile) {
+            const Index rows = std::min(kGemmRowTile, end - i0);
+            const Index ncols = i0 + rows;  // through the tile's last row
+            gemm_nn_acc(-1.0, base + (k + b + i0) * n + k, n, tdata, n,
+                        base + (k + b + i0) * n + (k + b), n, rows, b,
+                        ncols);
           }
         });
   }

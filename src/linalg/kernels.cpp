@@ -1,5 +1,8 @@
 #include "linalg/kernels.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "linalg/blas.hpp"
 #include "support/check.hpp"
 
@@ -85,9 +88,15 @@ void innovation_covariance(par::ExecContext& ctx, const Matrix& g,
 
 namespace {
 
-// Shared implementation of the two triangular solves.  Columns of B are
-// independent; each lane sweeps its column slice through all m substitution
-// steps, streaming along B's rows.
+// Shared implementation of the two triangular solves, blocked over rows of
+// L so the diagonal block stays L1-resident while it sweeps the lane's
+// right-hand-side strip.  Columns of B are independent; each lane owns a
+// column slice.  Per block [k0, k1): the contribution of the already-solved
+// rows is applied as one register-tiled GEMM panel (B_blk -= L_blk,prev *
+// B_prev), then the diagonal block is solved by direct substitution.  The
+// substitution order seen by any single element matches the scalar
+// reference (ascending p for the forward solve), so the two agree to
+// FMA-contraction round-off; see linalg::ref::trsm_lower.
 template <bool Transposed>
 void trsm_impl(par::ExecContext& ctx, const Matrix& l, Matrix& b) {
   PHMSE_CHECK(l.rows() == l.cols(), "trsm: L must be square");
@@ -102,36 +111,58 @@ void trsm_impl(par::ExecContext& ctx, const Matrix& l, Matrix& b) {
     st.bytes_stream = kBytes * (cols * static_cast<double>(m) +
                                 0.5 * static_cast<double>(m) *
                                     static_cast<double>(m));
-    // The lane's column slice of B is revisited by every substitution step.
+    // The lane's column slice of B is revisited once per row block (it was
+    // once per substitution step before blocking).
     st.resident_bytes = kBytes * cols * static_cast<double>(m);
-    st.resident_sweeps = 0.5 * static_cast<double>(m);
+    st.resident_sweeps =
+        static_cast<double>((m + kTrsmBlock - 1) / kTrsmBlock);
     return st;
   };
   auto body = [&](Index begin, Index end, int /*lane*/) {
     const Index width = end - begin;
-    if (width <= 0) return;
+    if (width <= 0 || m <= 0) return;
+    const Index ldb = b.cols();
+    double* const bbase = b.data() + begin;
+    const double* const ldata = l.data();
     if constexpr (!Transposed) {
-      for (Index i = 0; i < m; ++i) {
-        double* bi = b.row(i).data() + begin;
-        const double* lrow = l.row(i).data();
-        for (Index p = 0; p < i; ++p) {
-          const double lip = lrow[p];
-          const double* bp = b.row(p).data() + begin;
-          for (Index q = 0; q < width; ++q) bi[q] -= lip * bp[q];
+      for (Index k0 = 0; k0 < m; k0 += kTrsmBlock) {
+        const Index bs = std::min(kTrsmBlock, m - k0);
+        // B[k0..k0+bs) -= L[k0..k0+bs, 0..k0) * B[0..k0).
+        gemm_nn_acc(-1.0, ldata + k0 * m, m, bbase, ldb, bbase + k0 * ldb,
+                    ldb, bs, k0, width);
+        for (Index i = k0; i < k0 + bs; ++i) {
+          double* bi = bbase + i * ldb;
+          const double* lrow = ldata + i * m;
+          for (Index p = k0; p < i; ++p) {
+            const double lip = lrow[p];
+            const double* bp = bbase + p * ldb;
+            for (Index q = 0; q < width; ++q) {
+              bi[q] = std::fma(-lip, bp[q], bi[q]);
+            }
+          }
+          const double inv = 1.0 / lrow[i];
+          for (Index q = 0; q < width; ++q) bi[q] *= inv;
         }
-        const double inv = 1.0 / lrow[i];
-        for (Index q = 0; q < width; ++q) bi[q] *= inv;
       }
     } else {
-      for (Index i = m - 1; i >= 0; --i) {
-        double* bi = b.row(i).data() + begin;
-        for (Index p = i + 1; p < m; ++p) {
-          const double lpi = l(p, i);
-          const double* bp = b.row(p).data() + begin;
-          for (Index q = 0; q < width; ++q) bi[q] -= lpi * bp[q];
+      for (Index k0 = ((m - 1) / kTrsmBlock) * kTrsmBlock; k0 >= 0;
+           k0 -= kTrsmBlock) {
+        const Index k1 = std::min(k0 + kTrsmBlock, m);
+        // B[k0..k1) -= L[k1..m, k0..k1)^T * B[k1..m).
+        gemm_tn_acc(-1.0, ldata + k1 * m + k0, m, bbase + k1 * ldb, ldb,
+                    bbase + k0 * ldb, ldb, k1 - k0, m - k1, width);
+        for (Index i = k1 - 1; i >= k0; --i) {
+          double* bi = bbase + i * ldb;
+          for (Index p = i + 1; p < k1; ++p) {
+            const double lpi = ldata[p * m + i];
+            const double* bp = bbase + p * ldb;
+            for (Index q = 0; q < width; ++q) {
+              bi[q] = std::fma(-lpi, bp[q], bi[q]);
+            }
+          }
+          const double inv = 1.0 / ldata[i * m + i];
+          for (Index q = 0; q < width; ++q) bi[q] *= inv;
         }
-        const double inv = 1.0 / l(i, i);
-        for (Index q = 0; q < width; ++q) bi[q] *= inv;
       }
     }
   };
@@ -189,27 +220,26 @@ void covariance_downdate(par::ExecContext& ctx, const Matrix& v,
     KernelStats st;
     const double rows = static_cast<double>(end - begin);
     st.flops = 2.0 * rows * static_cast<double>(m) * static_cast<double>(n);
-    // C rows read+written once; the m rows of G are re-streamed per C row
-    // but stay cache-resident for moderate batch sizes, so charge them once
-    // per chunk.
+    // C rows read+written once; G's compulsory traffic charged once.
     st.bytes_stream =
         kBytes * (2.0 * rows * static_cast<double>(n) +
                   static_cast<double>(m) * static_cast<double>(n));
-    // The m x n block of G is re-swept once per covariance row and assumed
-    // resident; machines with a finite modeled cache penalize overflow.
-    st.resident_bytes = kBytes * static_cast<double>(m) *
-                        static_cast<double>(n);
-    st.resident_sweeps = rows;
+    // The blocked GEMM keeps an m x kGemmColStrip panel of G resident and
+    // re-sweeps it once per register row tile (it was the full m x n block
+    // once per covariance row before blocking); machines with a finite
+    // modeled cache penalize overflow.
+    st.resident_bytes =
+        kBytes * static_cast<double>(m) *
+        static_cast<double>(std::min(n, kGemmColStrip));
+    st.resident_sweeps = rows / static_cast<double>(kGemmRowTile);
     return st;
   };
   auto body = [&](Index begin, Index end, int /*lane*/) {
-    for (Index i = begin; i < end; ++i) {
-      double* crow = c.row(i).data();
-      for (Index j = 0; j < m; ++j) {
-        const double vji = v(j, i);
-        axpy(-vji, g.row(j).data(), crow, n);
-      }
-    }
+    if (end <= begin || m <= 0) return;
+    // C[begin..end) -= (V^T G)[begin..end): a register-tiled rank-m panel
+    // update; coefficients are the columns of V.
+    gemm_tn_acc(-1.0, v.data() + begin, n, g.data(), n, c.row(begin).data(),
+                n, end - begin, m, n);
   };
   ctx.parallel(Category::kMatVec, n, cost, body);
 }
@@ -217,7 +247,9 @@ void covariance_downdate(par::ExecContext& ctx, const Matrix& v,
 void gram(par::ExecContext& ctx, const Matrix& w, Matrix& out) {
   const Index m = w.rows();
   const Index n = w.cols();
-  out.resize_zero(n, n);
+  // Every entry of `out` is overwritten by the zero-initializing GEMM
+  // below, so skip resize_zero's full clearing pass.
+  out.resize(n, n);
 
   auto cost = [&](Index begin, Index end) {
     KernelStats st;
@@ -226,19 +258,29 @@ void gram(par::ExecContext& ctx, const Matrix& w, Matrix& out) {
     st.bytes_stream =
         kBytes * (2.0 * rows * static_cast<double>(n) +
                   static_cast<double>(m) * static_cast<double>(n));
-    st.resident_bytes = kBytes * static_cast<double>(m) *
-                        static_cast<double>(n);
-    st.resident_sweeps = rows;
+    // Same blocked-GEMM traffic pattern as covariance_downdate: an
+    // m x kGemmColStrip panel of W resident, swept once per row tile.
+    st.resident_bytes =
+        kBytes * static_cast<double>(m) *
+        static_cast<double>(std::min(n, kGemmColStrip));
+    st.resident_sweeps = rows / static_cast<double>(kGemmRowTile);
     return st;
   };
   auto body = [&](Index begin, Index end, int /*lane*/) {
-    for (Index i = begin; i < end; ++i) {
-      double* orow = out.row(i).data();
-      for (Index j = 0; j < m; ++j) {
-        const double wji = w(j, i);
-        axpy(wji, w.row(j).data(), orow, n);
+    if (end <= begin) return;
+    if (m <= 0) {
+      // Rank-0 Gram matrix: the overwrite below never runs, so clear the
+      // lane's rows explicitly.
+      for (Index i = begin; i < end; ++i) {
+        double* const row = out.row(i).data();
+        std::fill(row, row + n, 0.0);
       }
+      return;
     }
+    // out[begin..end) = (W^T W)[begin..end), register-tiled; the strip-wise
+    // zero-init replaces the resize_zero clearing pass.
+    gemm_tn_zero_acc(1.0, w.data() + begin, n, w.data(), n,
+                     out.row(begin).data(), n, end - begin, m, n);
   };
   ctx.parallel(Category::kMatMat, n, cost, body);
 }

@@ -20,6 +20,13 @@ void Matrix::resize_zero(Index rows, Index cols) {
   data_.assign(static_cast<std::size_t>(rows * cols), 0.0);
 }
 
+void Matrix::resize(Index rows, Index cols) {
+  PHMSE_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be >= 0");
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(static_cast<std::size_t>(rows * cols), 0.0);
+}
+
 void Matrix::place_block(Index r0, Index c0, const Matrix& block) {
   PHMSE_CHECK(r0 >= 0 && c0 >= 0 && r0 + block.rows() <= rows_ &&
                   c0 + block.cols() <= cols_,

@@ -65,6 +65,11 @@ class Matrix {
   /// Resizes to rows x cols, zero-filling all entries.
   void resize_zero(Index rows, Index cols);
 
+  /// Resizes to rows x cols without clearing retained entries (grown
+  /// storage is zero).  For kernels that overwrite every entry anyway —
+  /// skips resize_zero's full clearing pass when the shape is unchanged.
+  void resize(Index rows, Index cols);
+
   /// Writes `block` into this matrix with its (0,0) at (r0, c0).
   void place_block(Index r0, Index c0, const Matrix& block);
 

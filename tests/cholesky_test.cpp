@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "linalg/blas.hpp"
@@ -94,6 +95,71 @@ TEST(BlockedCholesky, ThrowsOnIndefinite) {
   m(2, 2) = -4.0;
   par::SerialContext ctx;
   EXPECT_THROW(cholesky(ctx, m, 2), Error);
+}
+
+// Degenerate block sizes: a block of 1 (every step is a panel), exactly n
+// (one panel, no trailing update) and n + 1 (block clamps to the matrix)
+// must all reproduce the serial factorization.
+TEST(BlockedCholeskyEdge, DegenerateBlockSizes) {
+  Rng rng(4501);
+  const Index n = 53;
+  const Matrix s = random_spd(n, rng);
+  Matrix expected = s;
+  cholesky_serial(expected);
+  par::SerialContext ctx;
+  for (const Index block : {Index{1}, n, n + 1}) {
+    Matrix actual = s;
+    cholesky(ctx, actual, block);
+    EXPECT_LT(actual.frobenius_distance(expected), 1e-9 * s.max_abs())
+        << "block=" << block;
+  }
+}
+
+// Near-singular SPD matrix (condition number ~1e12): the factorization must
+// either succeed with finite entries that reconstruct the input to a
+// condition-appropriate tolerance, or refuse with a clean phmse::Error —
+// never emit NaN/Inf.
+TEST(BlockedCholeskyEdge, NearSingularSucceedsCleanlyOrThrows) {
+  Rng rng(4502);
+  const Index n = 64;
+  // Orthogonal-ish Q from the Cholesky of a random SPD matrix is overkill;
+  // a graded diagonal conjugated by a random well-conditioned factor gives
+  // the target conditioning directly: A = B D B^T with D spanning 1..1e-12.
+  const Matrix b = random_spd(n, rng);  // well-conditioned SPD
+  Matrix d(n, n);
+  for (Index i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    d(i, i) = std::pow(10.0, -12.0 * t);  // 1 .. 1e-12
+  }
+  const Matrix a = matmul(matmul(b, d), transpose(b));
+  // Symmetrize exactly (matmul rounding leaves ~eps asymmetry).
+  Matrix s(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) s(i, j) = 0.5 * (a(i, j) + a(j, i));
+  }
+
+  par::SerialContext ctx;
+  for (const Index block : {Index{1}, Index{8}, Index{48}}) {
+    Matrix l = s;
+    bool threw = false;
+    try {
+      cholesky(ctx, l, block);
+    } catch (const Error&) {
+      threw = true;  // a clean refusal is acceptable for cond ~1e12
+    }
+    if (threw) continue;
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = 0; j < n; ++j) {
+        ASSERT_TRUE(std::isfinite(l(i, j)))
+            << "non-finite at (" << i << ", " << j << ") block=" << block;
+      }
+    }
+    // Reconstruction: backward error of Cholesky is O(n * eps * ||S||),
+    // independent of conditioning.
+    EXPECT_LT(matmul(l, transpose(l)).frobenius_distance(s),
+              1e-10 * std::max(1.0, s.max_abs()))
+        << "block=" << block;
+  }
 }
 
 TEST(BlockedCholesky, UpperTriangleZeroed) {

@@ -1,10 +1,18 @@
 // Parameterized property sweeps of the Fig.-1 update: invariants that
-// must hold across batch sizes, problem sizes and random data.
+// must hold across batch sizes, problem sizes and random data, plus a
+// golden-value regression test pinning a seeded end-to-end refinement.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <fstream>
+#include <string>
+
+#include "constraints/helix_gen.hpp"
 #include "constraints/set.hpp"
 #include "estimation/update.hpp"
 #include "linalg/blas.hpp"
+#include "molecule/rna_helix.hpp"
+#include "support/env.hpp"
 #include "support/rng.hpp"
 
 namespace phmse::est {
@@ -148,6 +156,53 @@ TEST_P(BatchSweep, RepeatedIdenticalMeasurementsConcentrate) {
   const double expected_var =
       prior * r / (r + static_cast<double>(k) * prior);
   EXPECT_NEAR(st.c(0, 0), expected_var, 1e-9);
+}
+
+// End-to-end invariance: a seeded full refinement of a 2-bp helix (86
+// atoms, state dimension 258 — wide enough to cross the blocked kernels'
+// column-strip boundary) must reproduce the golden RMSD and covariance
+// trace recorded with the pre-optimization scalar kernels.  This pins the
+// whole Fig.-1 pipeline, so a kernel rewrite cannot silently drift the
+// estimator.  Regenerate with PHMSE_UPDATE_GOLDEN=1 after an intentional
+// numerical change (and justify the change in the commit).
+TEST(UpdateGolden, SeededHelixRefinementMatchesGolden) {
+  const mol::HelixModel model = mol::build_helix(2);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Rng rng(20260805);
+  NodeState st = make_initial_state(model.topology, 0, model.num_atoms(),
+                                    1.0, 0.3, rng);
+  par::SerialContext ctx;
+  BatchUpdater up;
+  up.apply_all(ctx, st, set, 16, 8);
+
+  const double rmsd = model.topology.rmsd_to_truth(st.x);
+  double trace = 0.0;
+  for (Index i = 0; i < st.dim(); ++i) trace += st.c(i, i);
+
+  const std::string path =
+      std::string(PHMSE_GOLDEN_DIR) + "/helix_update_2bp.txt";
+  if (env_flag("PHMSE_UPDATE_GOLDEN")) {
+    std::ofstream out(path);
+    out.precision(17);
+    out << rmsd << "\n" << trace << "\n";
+    ASSERT_TRUE(out.good()) << "failed to write " << path;
+    GTEST_SKIP() << "golden regenerated at " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — regenerate with PHMSE_UPDATE_GOLDEN=1";
+  double g_rmsd = 0.0;
+  double g_trace = 0.0;
+  in >> g_rmsd >> g_trace;
+  ASSERT_FALSE(in.fail()) << "malformed golden file " << path;
+
+  // Blocked kernels keep each element's reduction order fixed, so only
+  // FMA-contraction round-off may differ from the scalar reference; 1e-8
+  // relative headroom is orders of magnitude above that but far below any
+  // real estimator drift.
+  EXPECT_NEAR(rmsd, g_rmsd, 1e-8 * std::max(1.0, std::abs(g_rmsd)));
+  EXPECT_NEAR(trace, g_trace, 1e-8 * std::max(1.0, std::abs(g_trace)));
 }
 
 }  // namespace
