@@ -60,6 +60,28 @@ core::Hierarchy prepare_ribo_hierarchy(const RiboProblem& p, int procs,
   return h;
 }
 
+engine::Plan make_helix_plan(const HelixProblem& p, int procs,
+                             const core::HierSolveOptions& solve) {
+  engine::Problem problem = engine::Problem::custom(
+      p.model.topology.size(), p.constraints,
+      [model = p.model] { return core::build_helix_hierarchy(model); });
+  engine::CompileOptions opts;
+  opts.solve = solve;
+  opts.processors = procs;
+  return Engine::compile(problem, opts);
+}
+
+engine::Plan make_ribo_plan(const RiboProblem& p, int procs,
+                            const core::HierSolveOptions& solve) {
+  engine::Problem problem = engine::Problem::custom(
+      p.model.topology.size(), p.constraints,
+      [model = p.model] { return core::build_ribo_hierarchy(model); });
+  engine::CompileOptions opts;
+  opts.solve = solve;
+  opts.processors = procs;
+  return Engine::compile(problem, opts);
+}
+
 int run_speedup_table(const SpeedupSpec& spec) {
   print_header(spec.table_id, spec.title);
 
@@ -82,16 +104,16 @@ int run_speedup_table(const SpeedupSpec& spec) {
                   ? "distributed (CC-NUMA)"
                   : "centralized (bus)");
 
-  core::HierSolveOptions opts;  // one cycle, batch 16 — as the paper times
-  const core::ProblemFactory factory = [&](int procs) {
-    return spec.helix_problem ? prepare_helix_hierarchy(helix, procs)
-                              : prepare_ribo_hierarchy(ribo, procs);
-  };
+  // One plan, compiled once (one cycle, batch 16 — as the paper times);
+  // run_speedup_study reschedules it per processor count.
+  core::HierSolveOptions opts;
+  engine::Plan plan = spec.helix_problem ? make_helix_plan(helix, 1, opts)
+                                         : make_ribo_plan(ribo, 1, opts);
   const linalg::Vector& initial =
       spec.helix_problem ? helix.initial : ribo.initial;
-  const core::SpeedupStudy study = core::run_speedup_study(
-      factory, initial, opts, spec.machine, spec.proc_counts);
-  std::printf("%s", core::format_speedup_table(study).c_str());
+  const engine::SpeedupStudy study = engine::run_speedup_study(
+      plan, initial, spec.machine, spec.proc_counts);
+  std::printf("%s", engine::format_speedup_table(study).c_str());
   std::printf("(simulated work time in seconds on the %s machine model; "
               "categories are max-over-processors)\n",
               spec.machine.name.c_str());

@@ -15,9 +15,10 @@
 #include "constraints/ribo_gen.hpp"
 #include "core/assign.hpp"
 #include "core/hier_solver.hpp"
-#include "core/study.hpp"
 #include "core/schedule.hpp"
 #include "core/work_model.hpp"
+#include "engine/engine.hpp"
+#include "engine/study.hpp"
 #include "molecule/ribo30s.hpp"
 #include "molecule/rna_helix.hpp"
 
@@ -55,6 +56,15 @@ core::Hierarchy prepare_helix_hierarchy(const HelixProblem& p, int procs,
 /// Builds, populates and schedules the Fig.-4 hierarchy for the ribosome.
 core::Hierarchy prepare_ribo_hierarchy(const RiboProblem& p, int procs,
                                        Index batch_size = 16);
+
+/// Compiles the helix problem into an engine plan (Fig.-2 decomposition).
+engine::Plan make_helix_plan(const HelixProblem& p, int procs,
+                             const core::HierSolveOptions& solve = {});
+
+/// Compiles the ribosome problem into an engine plan (Fig.-4
+/// decomposition).
+engine::Plan make_ribo_plan(const RiboProblem& p, int procs,
+                            const core::HierSolveOptions& solve = {});
 
 /// Prints a standard header line for a harness.
 void print_header(const std::string& table_id, const std::string& title);

@@ -1,0 +1,84 @@
+// Solver-level perf-regression harness for the engine facade.
+//
+// Times the two halves of the plan/execute split on the paper's 8-bp helix
+// workload: Engine::compile (decompose + assign + schedule + workspace
+// sizing) and the steady-state plan.solve() (all buffers warm; the serial
+// path allocates nothing).  The rows land in the same
+// phmse-kernel-bench-v1 JSON schema as the dense-kernel harness so
+// scripts/bench_check.py can track both against the committed
+// BENCH_kernels.json baseline.
+//
+//   ./build/bench/solve_regress              # writes BENCH_solver.json
+//   ./build/bench/solve_regress out.json    # explicit output path
+//
+// Honours PHMSE_BENCH_SCALE (< 0.5 switches to a 2-bp smoke helix),
+// PHMSE_BENCH_SEED and PHMSE_BENCH_OUT (default output path).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "support/env.hpp"
+
+namespace phmse::bench {
+namespace {
+
+int run_all(const std::string& out_path) {
+  print_header("solve_regress",
+               "plan compile vs steady-state solve (engine facade)");
+
+  const bool smoke = bench_scale() < 0.5;
+  const Index length = smoke ? 2 : 8;
+  const HelixProblem p = make_helix_problem(length);
+  const Index n = 3 * p.model.num_atoms();
+  const Index m = p.constraints.size();
+  std::printf("problem: Helix %lld bp (%lld state dims, %lld constraints)\n",
+              static_cast<long long>(length), static_cast<long long>(n),
+              static_cast<long long>(m));
+
+  std::vector<KernelBenchRecord> records;
+
+  {
+    KernelBenchRecord rec;
+    rec.kernel = "plan_compile";
+    rec.impl = "engine";
+    rec.m = m;
+    rec.n = n;
+    rec.threads = 1;
+    rec.seconds =
+        time_best([&] { engine::Plan plan = make_helix_plan(p, 1); }, 3,
+                  &rec.reps);
+    std::printf("  %-18s %9.3f ms\n", "plan_compile", rec.seconds * 1e3);
+    records.push_back(rec);
+  }
+
+  {
+    engine::Plan plan = make_helix_plan(p, 1);
+    plan.solve(p.initial);  // warm-up solve: every buffer allocates here
+    KernelBenchRecord rec;
+    rec.kernel = "plan_solve_steady";
+    rec.impl = "engine";
+    rec.m = m;
+    rec.n = n;
+    rec.threads = 1;
+    rec.seconds = time_best([&] { plan.solve(p.initial); }, 3, &rec.reps);
+    std::printf("  %-18s %9.3f ms\n", "plan_solve_steady",
+                rec.seconds * 1e3);
+    records.push_back(rec);
+  }
+
+  write_kernel_bench_json(out_path, records);
+  std::printf("\nwrote %zu records to %s\n", records.size(),
+              out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace phmse::bench
+
+int main(int argc, char** argv) {
+  const std::string out =
+      argc > 1 ? argv[1]
+               : phmse::env_string("PHMSE_BENCH_OUT", "BENCH_solver.json");
+  return phmse::bench::run_all(out);
+}

@@ -3,20 +3,17 @@
 // The paper requires the user to supply the structure hierarchy, with a
 // recursive-bisection fallback, and sketches a bottom-up alternative
 // (Section 5).  This example builds an artificial two-domain chain
-// molecule with NO hand-written hierarchy and compares the three
-// decompositions PHMSE offers: flat, recursive bisection, and bottom-up
-// grouping from residue-level leaves.
+// molecule with NO hand-written hierarchy and compares the decompositions
+// PHMSE offers — flat, recursive bisection, bottom-up grouping from
+// residue-level leaves, and constraint-graph partitioning — each stated
+// as an engine::Problem and compiled to a plan.
 #include <cstdio>
 #include <vector>
 
-#include "core/assign.hpp"
 #include "core/graph_partition.hpp"
-#include "core/hier_solver.hpp"
-#include "core/schedule.hpp"
-#include "core/work_model.hpp"
+#include "engine/engine.hpp"
 #include "molecule/topology.hpp"
 #include "support/rng.hpp"
-#include "support/stopwatch.hpp"
 
 using namespace phmse;
 
@@ -84,18 +81,14 @@ cons::ConstraintSet make_data(const ChainMolecule& m) {
   return data;
 }
 
-double solve_with(core::Hierarchy& h, const ChainMolecule& m,
-                  const cons::ConstraintSet& data,
-                  const linalg::Vector& initial) {
-  core::assign_constraints(h, data);
-  core::estimate_work(h, core::WorkModel{}, 16);
-  core::assign_processors(h, 1);
-  par::SerialContext ctx;
-  core::HierSolveOptions opts;  // one timed cycle
-  opts.prior_sigma = 0.5;
-  Stopwatch sw;
-  core::solve_hierarchical(ctx, h, initial, opts);
-  return sw.seconds();
+// Compiles `problem` (one timed cycle) and returns plan + solve seconds.
+std::pair<engine::Plan, double> solve_with(const engine::Problem& problem,
+                                           const linalg::Vector& initial) {
+  engine::CompileOptions copts;  // one cycle
+  copts.solve.prior_sigma = 0.5;
+  engine::Plan plan = Engine::compile(problem, copts);
+  const double seconds = plan.solve(initial).seconds;
+  return {std::move(plan), seconds};
 }
 
 }  // namespace
@@ -112,51 +105,57 @@ int main() {
   for (auto& v : initial) v += rng.gaussian(0.0, 0.4);
 
   // (a) Flat: everything in one node.
-  core::Hierarchy flat = core::build_flat_hierarchy(molecule.topo.size());
-  const double t_flat = solve_with(flat, molecule, data, initial);
+  const double t_flat =
+      solve_with(engine::Problem::flat(molecule.topo.size(), data), initial)
+          .second;
   std::printf("flat organization:        %.3f s / cycle\n", t_flat);
 
   // (b) Recursive bisection, blind to the residue structure.
-  core::Hierarchy bisect =
-      core::build_bisection_hierarchy(molecule.topo.size(), 12);
-  const double t_bisect = solve_with(bisect, molecule, data, initial);
+  const double t_bisect =
+      solve_with(engine::Problem::bisection(molecule.topo.size(), data, 12),
+                 initial)
+          .second;
   std::printf("recursive bisection:      %.3f s / cycle (%.1fx)\n", t_bisect,
               t_flat / t_bisect);
 
   // (c) Bottom-up grouping from residue leaves (paper Section 5): merges
   //     the strongly-coupled neighbours first, so almost every constraint
   //     is applied deep in the tree.
-  core::Hierarchy bottom_up =
-      core::build_bottom_up_hierarchy(molecule.residue_ranges, data);
-  const double t_bu = solve_with(bottom_up, molecule, data, initial);
+  auto [bottom_up, t_bu] = solve_with(
+      engine::Problem::custom(molecule.topo.size(), data,
+                              [&molecule, &data] {
+                                return core::build_bottom_up_hierarchy(
+                                    molecule.residue_ranges, data);
+                              }),
+      initial);
   std::printf("bottom-up from residues:  %.3f s / cycle (%.1fx)\n", t_bu,
               t_flat / t_bu);
 
   // (d) Graph partitioning (paper Section 5's preferred direction): build
   //     the constraint graph, bisect it recursively with FM refinement, and
-  //     solve in the resulting atom order.
+  //     solve in the resulting atom order.  The constraints and the state
+  //     are remapped into partition order, so the problem is stated over
+  //     the REMAPPED data; the decomposition recipe re-partitions inside
+  //     the lambda.
   {
     core::Decomposition d = core::decompose_by_graph_partition(
         molecule.topo.size(), data);
-    core::Hierarchy gp = std::move(d.hierarchy);
     const cons::ConstraintSet remapped =
         core::remap_constraints(data, d.rank);
-    core::assign_constraints(gp, remapped);
-    core::estimate_work(gp, core::WorkModel{}, 16);
-    core::assign_processors(gp, 1);
-    par::SerialContext ctx;
-    core::HierSolveOptions opts;
-    opts.prior_sigma = 0.5;
-    Stopwatch sw;
-    core::solve_hierarchical(ctx, gp, core::remap_state(initial, d.order),
-                             opts);
-    const double t_gp = sw.seconds();
+    engine::Problem problem = engine::Problem::custom(
+        molecule.topo.size(), remapped, [&molecule, &data] {
+          return core::decompose_by_graph_partition(molecule.topo.size(),
+                                                    data)
+              .hierarchy;
+        });
+    const double t_gp =
+        solve_with(problem, core::remap_state(initial, d.order)).second;
     std::printf("graph partitioning:       %.3f s / cycle (%.1fx)\n", t_gp,
                 t_flat / t_gp);
   }
 
   std::printf("\nbottom-up tree (top levels):\n");
-  const std::string desc = bottom_up.describe(false);
+  const std::string desc = bottom_up.hierarchy().describe(false);
   // Print only the first few lines.
   std::size_t pos = 0;
   for (int line = 0; line < 8 && pos != std::string::npos; ++line) {

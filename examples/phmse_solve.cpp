@@ -24,14 +24,10 @@
 #include <thread>
 
 #include "constraints/io.hpp"
-#include "core/assign.hpp"
 #include "core/graph_partition.hpp"
-#include "core/hier_solver.hpp"
-#include "core/schedule.hpp"
-#include "core/work_model.hpp"
+#include "engine/engine.hpp"
 #include "estimation/analysis.hpp"
 #include "estimation/residuals.hpp"
-#include "estimation/solver.hpp"
 #include "molecule/xyz_io.hpp"
 #include "support/stopwatch.hpp"
 
@@ -134,56 +130,57 @@ int main(int argc, char** argv) {
     bool converged = false;
     Stopwatch sw;
 
+    engine::CompileOptions copts;
+    copts.solve.batch_size = opt.batch;
+    copts.solve.max_cycles = opt.cycles;
+    copts.solve.tolerance = opt.tol;
+    copts.solve.prior_sigma = opt.prior;
+
     if (opt.flat) {
-      result.atom_begin = 0;
-      result.atom_end = topo.size();
-      result.x = x0;
-      result.reset_covariance(opt.prior);
-      par::SerialContext ctx;
-      est::SolveOptions so;
-      so.batch_size = opt.batch;
-      so.max_cycles = opt.cycles;
-      so.tolerance = opt.tol;
-      so.prior_sigma = opt.prior;
-      const est::SolveResult r = est::solve_flat(ctx, result, data, so);
+      engine::Plan plan =
+          Engine::compile(engine::Problem::flat(topo.size(), data), copts);
+      const engine::Result r = plan.solve(x0);
       cycles = r.cycles;
       converged = r.converged;
+      result = r.posterior();
     } else {
+      // Decompose by partitioning the constraint graph; the constraints
+      // and the state are remapped into partition order, so the engine
+      // sees the REMAPPED problem and the answer is mapped back below.
       core::GraphPartitionOptions gpo;
       gpo.max_leaf_atoms = opt.leaf;
       core::Decomposition d =
           core::decompose_by_graph_partition(topo.size(), data, gpo);
-      core::Hierarchy h = std::move(d.hierarchy);
       const cons::ConstraintSet remapped =
           core::remap_constraints(data, d.rank);
-      core::assign_constraints(h, remapped);
-      core::estimate_work(h, core::WorkModel{}, opt.batch);
 
       const int threads =
           opt.threads > 0
               ? opt.threads
               : static_cast<int>(
                     std::max(1u, std::thread::hardware_concurrency()));
-      core::assign_processors(h, threads);
+      engine::Problem problem = engine::Problem::custom(
+          topo.size(), remapped, [&topo, &data, &gpo] {
+            return core::decompose_by_graph_partition(topo.size(), data, gpo)
+                .hierarchy;
+          });
+      copts.processors = threads;
+      engine::Plan plan = Engine::compile(problem, copts);
       std::printf("decomposition: %lld nodes, depth %lld, %d thread(s)\n",
-                  static_cast<long long>(h.num_nodes()),
-                  static_cast<long long>(h.depth()), threads);
+                  static_cast<long long>(plan.hierarchy().num_nodes()),
+                  static_cast<long long>(plan.hierarchy().depth()), threads);
 
-      core::HierSolveOptions ho;
-      ho.batch_size = opt.batch;
-      ho.max_cycles = opt.cycles;
-      ho.tolerance = opt.tol;
-      ho.prior_sigma = opt.prior;
       par::ThreadPool pool(threads);
-      core::HierSolveResult r = core::solve_hierarchical_threaded(
-          h, core::remap_state(x0, d.order), ho, pool);
+      const engine::Result r =
+          plan.solve(pool, core::remap_state(x0, d.order));
       cycles = r.cycles;
       converged = r.converged;
 
       // Back to the input atom order (covariance diagonal blocks follow).
+      const est::NodeState& solved = r.posterior();
       result.atom_begin = 0;
       result.atom_end = topo.size();
-      result.x = core::unmap_state(r.state.x, d.order);
+      result.x = core::unmap_state(solved.x, d.order);
       result.c.resize_zero(3 * topo.size(), 3 * topo.size());
       for (Index new_a = 0; new_a < topo.size(); ++new_a) {
         const Index old_a = d.order[static_cast<std::size_t>(new_a)];
@@ -192,7 +189,7 @@ int main(int argc, char** argv) {
           for (int i = 0; i < 3; ++i) {
             for (int j = 0; j < 3; ++j) {
               result.c(3 * old_a + i, 3 * old_b + j) =
-                  r.state.c(3 * new_a + i, 3 * new_b + j);
+                  solved.c(3 * new_a + i, 3 * new_b + j);
             }
           }
         }

@@ -4,12 +4,14 @@
 // This walks the whole public API in ~80 lines:
 //   1. describe the atoms (a Topology),
 //   2. state what was measured (a ConstraintSet),
-//   3. pick an initial estimate (x, C),
-//   4. run the iterated update procedure (solve_flat),
-//   5. inspect the refined coordinates and their variances.
+//   3. pick an initial estimate,
+//   4. compile the problem once (phmse::Engine) and solve it,
+//   5. inspect the refined coordinates and their variances,
+//   6. re-solve the same plan — the compiled artifact is reusable.
 #include <cstdio>
 
 #include "constraints/set.hpp"
+#include "engine/engine.hpp"
 #include "estimation/solver.hpp"
 #include "molecule/topology.hpp"
 #include "support/rng.hpp"
@@ -57,22 +59,27 @@ int main() {
   std::printf("measurements: %lld scalar constraints\n",
               static_cast<long long>(data.size()));
 
-  // 3. Initial estimate: the truth shaken by 0.4 A per coordinate, with a
-  //    spherical prior.
-  est::NodeState estimate =
-      est::make_initial_state(topo, 0, topo.size(), /*prior_sigma=*/0.8,
-                              /*perturb_sigma=*/0.4, rng);
-  std::printf("initial RMSD to truth: %.3f A\n",
-              topo.rmsd_to_truth(estimate.x));
+  // 3. Initial estimate: the truth shaken by 0.4 A per coordinate.
+  linalg::Vector x0 = topo.true_state();
+  for (auto& v : x0) v += rng.gaussian(0.0, 0.4);
+  std::printf("initial RMSD to truth: %.3f A\n", topo.rmsd_to_truth(x0));
 
-  // 4. Iterate cycles of the update procedure until the estimate settles.
-  par::SerialContext ctx;
-  est::SolveOptions opts;
-  opts.batch_size = 8;
-  opts.max_cycles = 60;
-  opts.prior_sigma = 0.8;
-  opts.tolerance = 1e-3;
-  const est::SolveResult result = est::solve_flat(ctx, estimate, data, opts);
+  // 4. Compile once, solve.  A four-atom molecule needs no decomposition,
+  //    so Problem::flat (one node) is the right recipe; larger molecules
+  //    use Problem::bisection or a custom hierarchy (see the other
+  //    examples).  Everything observation-independent — decomposition,
+  //    constraint assignment, workspace sizing — happens inside compile();
+  //    solve() just runs numbers through the plan.
+  engine::Problem problem =
+      engine::Problem::flat(topo.size(), data);
+  engine::CompileOptions copts;
+  copts.solve.batch_size = 8;
+  copts.solve.max_cycles = 60;
+  copts.solve.prior_sigma = 0.8;
+  copts.solve.tolerance = 1e-3;
+  engine::Plan plan = Engine::compile(problem, copts);
+  const engine::Result result = plan.solve(x0);
+  const est::NodeState& estimate = result.posterior();
   std::printf("solved in %d cycles (converged: %s)\n", result.cycles,
               result.converged ? "yes" : "no");
 
@@ -94,5 +101,15 @@ int main() {
               "chain end D, constrained\nonly through distances, is the "
               "least certain — the covariance output is the point\nof the "
               "method, not just the coordinates.\n");
+
+  // 6. The plan is a reusable artifact: solve again (new starting point,
+  //    same measurements) without recompiling.  After the first solve the
+  //    serial path re-uses every workspace — no heap allocation.
+  linalg::Vector x1 = topo.true_state();
+  for (auto& v : x1) v += rng.gaussian(0.0, 0.4);
+  const engine::Result again = plan.solve(x1);
+  std::printf("\nre-solved the compiled plan from a new start: %d cycles, "
+              "RMSD %.3f A\n", again.cycles,
+              topo.rmsd_to_truth(again.posterior().x));
   return 0;
 }

@@ -1,21 +1,18 @@
 // 30S ribosomal subunit modeling: the paper's second workload.
 //
 // Builds the synthetic 30S model (21 neutron-mapped proteins, 65 helices,
-// 65 coils; ~900 pseudo-atoms, ~6500 constraints), decomposes it into
-// spatial domains (paper Fig. 4 — note the high branching factor), and
-// solves it both sequentially and on the simulated 32-processor DASH,
-// printing the parallel work-time breakdown.
+// 65 coils; ~900 pseudo-atoms, ~6500 constraints), states it once as an
+// engine::Problem with the spatial-domain decomposition (paper Fig. 4 —
+// note the high branching factor), and compiles it twice: a refinement
+// plan solved sequentially, and a one-cycle plan solved on the simulated
+// 32-processor DASH, printing the parallel work-time breakdown.
 #include <cstdio>
 
 #include "constraints/ribo_gen.hpp"
-#include "core/assign.hpp"
+#include "engine/engine.hpp"
 #include "estimation/analysis.hpp"
-#include "core/hier_solver.hpp"
-#include "core/schedule.hpp"
-#include "core/work_model.hpp"
 #include "molecule/ribo30s.hpp"
 #include "support/rng.hpp"
-#include "support/stopwatch.hpp"
 
 using namespace phmse;
 
@@ -28,15 +25,10 @@ int main() {
               static_cast<long long>(model.num_segments()),
               static_cast<long long>(data.size()));
 
-  core::Hierarchy hierarchy = core::build_ribo_hierarchy(model);
-  core::assign_constraints(hierarchy, data);
-  std::printf("hierarchy (cf. paper Fig. 4): root branches into %zu "
-              "domains, %lld leaves\n",
-              hierarchy.root().children.size(),
-              static_cast<long long>(hierarchy.num_leaves()));
-
-  core::estimate_work(hierarchy, core::WorkModel{}, 16);
-  core::assign_processors(hierarchy, 32);
+  // One problem statement serves every compilation below.
+  const engine::Problem problem = engine::Problem::custom(
+      model.topology.size(), data,
+      [&model] { return core::build_ribo_hierarchy(model); });
 
   // A crude initial layout: everything near the truth +- 2 A (in practice
   // this comes from the discrete conformational-space search the paper
@@ -49,35 +41,40 @@ int main() {
 
   // Sequential refinement for the estimate itself.
   {
-    core::Hierarchy h2 = core::build_ribo_hierarchy(model);
-    core::assign_constraints(h2, data);
-    par::SerialContext ctx;
-    core::HierSolveOptions opts;
-    opts.prior_sigma = 1.0;
-    opts.max_cycles = 12;
-    opts.tolerance = 0.05;
-    Stopwatch sw;
-    const core::HierSolveResult res =
-        core::solve_hierarchical(ctx, h2, initial, opts);
+    engine::CompileOptions copts;
+    copts.solve.prior_sigma = 1.0;
+    copts.solve.max_cycles = 12;
+    copts.solve.tolerance = 0.05;
+    engine::Plan plan = Engine::compile(problem, copts);
+    std::printf("hierarchy (cf. paper Fig. 4): root branches into %zu "
+                "domains, %lld leaves; compiled in %.1f ms\n",
+                plan.hierarchy().root().children.size(),
+                static_cast<long long>(plan.hierarchy().num_leaves()),
+                plan.timings().total_seconds * 1e3);
+
+    const engine::Result res = plan.solve(initial);
     std::printf("sequential solve: %.2f s wall, %d cycles, final RMSD "
                 "%.2f A, residual %.3f\n",
-                sw.seconds(), res.cycles,
-                model.topology.rmsd_to_truth(res.state.x),
-                cons::rms_residual(data, model.topology, res.state.x));
+                res.seconds, res.cycles,
+                model.topology.rmsd_to_truth(res.posterior().x),
+                cons::rms_residual(data, model.topology,
+                                   res.posterior().x));
 
     // "Which parts of the molecule are better defined by the data" (paper
     // Section 2) — the neutron-anchored proteins should top the list.
     std::printf("\n%s\n",
-                est::uncertainty_report(res.state, model.topology, 4)
+                est::uncertainty_report(res.posterior(), model.topology, 4)
                     .c_str());
   }
 
-  // One timed cycle on the simulated DASH, as in the paper's Table 4.
+  // One timed cycle on the simulated DASH, as in the paper's Table 4: the
+  // same problem compiled for 32 processors, executed on the simulator.
   {
+    engine::CompileOptions copts;  // one cycle
+    copts.processors = 32;
+    engine::Plan plan = Engine::compile(problem, copts);
     simarch::SimMachine machine(simarch::dash32());
-    core::HierSolveOptions opts;  // one cycle
-    const core::SimSolveResult res =
-        core::solve_hierarchical_sim(hierarchy, initial, opts, machine);
+    const engine::Result res = plan.solve(machine, initial);
     std::printf("\none cycle on simulated DASH (32 procs): %.2f virtual "
                 "seconds\n",
                 res.vtime);

@@ -2,22 +2,20 @@
 // hierarchical decomposition and real multithreaded execution.
 //
 // Builds an 8-base-pair A-form helix, generates the five categories of
-// distance constraints (plus reference-frame anchors), decomposes it per
-// the paper's Fig. 2, schedules the hierarchy over the host's threads, and
-// refines a perturbed structure, writing before/after XYZ files.
+// distance constraints (plus reference-frame anchors), and compiles the
+// problem with phmse::Engine — decomposition per the paper's Fig. 2, Eq.-1
+// work model calibrated on this host, §4.3 schedule over the hardware
+// threads — then refines a perturbed structure on a thread pool, writing
+// before/after XYZ files.
 #include <cstdio>
 #include <fstream>
 #include <thread>
 
 #include "constraints/helix_gen.hpp"
-#include "core/assign.hpp"
-#include "core/hier_solver.hpp"
-#include "core/schedule.hpp"
-#include "core/work_model.hpp"
+#include "engine/engine.hpp"
 #include "molecule/rna_helix.hpp"
 #include "molecule/xyz_io.hpp"
 #include "support/rng.hpp"
-#include "support/stopwatch.hpp"
 
 using namespace phmse;
 
@@ -33,21 +31,28 @@ int main() {
               static_cast<long long>(model.num_atoms()),
               static_cast<long long>(data.size()));
 
-  // Hierarchical decomposition (paper Fig. 2) and constraint assignment.
-  core::Hierarchy hierarchy = core::build_helix_hierarchy(model);
-  const core::AssignStats stats = core::assign_constraints(hierarchy, data);
-  std::printf("hierarchy: %lld nodes, depth %lld; %lld constraints on "
-              "leaves, %lld at the root\n",
-              static_cast<long long>(hierarchy.num_nodes()),
-              static_cast<long long>(hierarchy.depth()),
-              static_cast<long long>(stats.on_leaves),
-              static_cast<long long>(stats.per_level[0]));
-
-  // Schedule over the host's hardware threads and solve in parallel.
+  // Compile: Fig.-2 decomposition, constraint assignment, host-calibrated
+  // Eq.-1 work model, and a §4.3 schedule over the hardware threads — all
+  // observation-independent, all done once.
   const int threads =
-      std::max(1u, std::thread::hardware_concurrency());
-  core::estimate_work(hierarchy, core::WorkModel{}, 16);
-  core::assign_processors(hierarchy, threads);
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  engine::Problem problem = engine::Problem::custom(
+      model.topology.size(), data,
+      [&model] { return core::build_helix_hierarchy(model); });
+  engine::CompileOptions copts;
+  copts.solve.prior_sigma = 0.5;
+  copts.solve.max_cycles = 20;
+  copts.solve.tolerance = 0.02;
+  copts.processors = threads;
+  copts.calibrate_work_model = true;  // measure Eq. 1 on this host
+  engine::Plan plan = Engine::compile(problem, copts);
+  std::printf("hierarchy: %lld nodes, depth %lld\n",
+              static_cast<long long>(plan.hierarchy().num_nodes()),
+              static_cast<long long>(plan.hierarchy().depth()));
+  std::printf("compiled in %.1f ms (calibration %.1f ms) for %d "
+              "processor(s)\n",
+              plan.timings().total_seconds * 1e3,
+              plan.timings().calibrate_seconds * 1e3, plan.processors());
 
   Rng rng(7);
   linalg::Vector initial = model.topology.true_state();
@@ -61,27 +66,23 @@ int main() {
   }
 
   par::ThreadPool pool(threads);
-  core::HierSolveOptions opts;
-  opts.prior_sigma = 0.5;
-  opts.max_cycles = 20;
-  opts.tolerance = 0.02;
-  Stopwatch sw;
-  const core::HierSolveResult result =
-      core::solve_hierarchical_threaded(hierarchy, initial, opts, pool);
+  const engine::Result result = plan.solve(pool, initial);
   std::printf("solved on %d thread(s) in %.2f s wall, %d cycles "
               "(converged: %s)\n",
-              threads, sw.seconds(), result.cycles,
+              threads, result.seconds, result.cycles,
               result.converged ? "yes" : "no");
 
   std::printf("final RMSD to truth:  %.3f A\n",
-              model.topology.rmsd_to_truth(result.state.x));
+              model.topology.rmsd_to_truth(result.posterior().x));
   std::printf("constraint RMS residual: %.3f -> %.3f\n",
               cons::rms_residual(data, model.topology, initial),
-              cons::rms_residual(data, model.topology, result.state.x));
+              cons::rms_residual(data, model.topology,
+                                 result.posterior().x));
 
   {
     std::ofstream f("helix_refined.xyz");
-    mol::write_xyz(f, model.topology, result.state.x, "refined estimate");
+    mol::write_xyz(f, model.topology, result.posterior().x,
+                   "refined estimate");
   }
   std::printf("wrote helix_initial.xyz and helix_refined.xyz\n");
   return 0;

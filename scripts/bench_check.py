@@ -33,8 +33,12 @@ KNOWN_KERNELS = {
     "trsm_lower",
     "trsm_lower_transposed",
     "cholesky",
+    # Solver-level rows from bench/solve_regress: the two halves of the
+    # plan/execute split (Engine::compile vs steady-state plan.solve()).
+    "plan_compile",
+    "plan_solve_steady",
 }
-KNOWN_IMPLS = {"blocked", "ref"}
+KNOWN_IMPLS = {"blocked", "ref", "engine"}
 
 REQUIRED_FIELDS = {
     "kernel": str,

@@ -29,6 +29,14 @@ class ConstraintSet {
 
   const std::vector<Constraint>& all() const { return constraints_; }
 
+  /// Overwrites the observed value of constraint `i` in place.  Lets a
+  /// compiled solve plan rebind fresh measurements without re-running
+  /// constraint-to-node assignment.
+  void set_observed(Index i, double value) {
+    PHMSE_ASSERT(i >= 0 && i < size());
+    constraints_[static_cast<std::size_t>(i)].observed = value;
+  }
+
   /// Smallest / largest atom id referenced (the whole set must fit inside
   /// one hierarchy node's contiguous atom range).  Empty set: {0, -1}.
   std::pair<Index, Index> atom_span() const;

@@ -4,8 +4,11 @@
 
 namespace phmse::core {
 
-AssignStats assign_constraints(Hierarchy& hierarchy,
-                               const cons::ConstraintSet& set) {
+namespace {
+
+AssignStats assign_constraints_impl(Hierarchy& hierarchy,
+                                    const cons::ConstraintSet& set,
+                                    std::vector<AssignedSlot>* slots) {
   AssignStats stats;
   stats.total = set.size();
   stats.per_level.assign(static_cast<std::size_t>(hierarchy.depth()), 0);
@@ -34,11 +37,27 @@ AssignStats assign_constraints(Hierarchy& hierarchy,
       node = next;
       ++level;
     }
+    if (slots != nullptr) slots->push_back({node, node->constraints.size()});
     node->constraints.add(c);
     stats.per_level[static_cast<std::size_t>(level)] += 1;
     if (node->is_leaf()) ++stats.on_leaves;
   }
   return stats;
+}
+
+}  // namespace
+
+AssignStats assign_constraints(Hierarchy& hierarchy,
+                               const cons::ConstraintSet& set) {
+  return assign_constraints_impl(hierarchy, set, nullptr);
+}
+
+AssignStats assign_constraints(Hierarchy& hierarchy,
+                               const cons::ConstraintSet& set,
+                               std::vector<AssignedSlot>& slots) {
+  slots.clear();
+  slots.reserve(static_cast<std::size_t>(set.size()));
+  return assign_constraints_impl(hierarchy, set, &slots);
 }
 
 void clear_constraints(Hierarchy& hierarchy) {

@@ -19,11 +19,25 @@ struct AssignStats {
   Index on_leaves = 0;
 };
 
+/// Where constraint i of the assigned set landed: node and index within
+/// that node's list.  A compiled plan records one slot per input constraint
+/// so fresh observation values can be scattered without re-assignment.
+struct AssignedSlot {
+  HierNode* node = nullptr;
+  Index index = 0;
+};
+
 /// Distributes `set` over the hierarchy (appending to each node's
 /// constraint list) and returns assignment statistics.  Every constraint
 /// must fit inside the root's atom range.
 AssignStats assign_constraints(Hierarchy& hierarchy,
                                const cons::ConstraintSet& set);
+
+/// As above, additionally recording where each input constraint landed
+/// (slots[i] corresponds to set[i]).  `slots` is cleared first.
+AssignStats assign_constraints(Hierarchy& hierarchy,
+                               const cons::ConstraintSet& set,
+                               std::vector<AssignedSlot>& slots);
 
 /// Removes all constraints from every node.
 void clear_constraints(Hierarchy& hierarchy);

@@ -1,212 +1,17 @@
 #include "core/hier_solver.hpp"
 
-#include <cmath>
-#include <exception>
-
-#include "estimation/update.hpp"
-#include "parallel/task_group.hpp"
-#include "parallel/team.hpp"
-#include "support/check.hpp"
-
 namespace phmse::core {
-namespace {
 
-using est::BatchUpdater;
-using est::NodeState;
 using linalg::Vector;
 
-// Assembles a node's state from its children: x is the concatenation, C the
-// block-diagonal of the children's covariances (children are uncorrelated
-// until this node's constraints couple them).  Charged as vector/copy
-// traffic.
-NodeState assemble_from_children(par::ExecContext& ctx, const HierNode& node,
-                                 std::vector<NodeState>& child_states) {
-  NodeState state;
-  state.atom_begin = node.atom_begin;
-  state.atom_end = node.atom_end;
-  const Index n = state.dim();
-  state.x.resize(static_cast<std::size_t>(n));
-  state.c.resize_zero(n, n);
+namespace {
 
-  auto cost = [&](Index begin, Index end) {
-    par::KernelStats st;
-    // Each parent row copies one child-row segment; plus the state vector.
-    st.bytes_stream = 16.0 * static_cast<double>(end - begin) *
-                      static_cast<double>(n) /
-                      static_cast<double>(child_states.size());
-    return st;
-  };
-  auto body = [&](Index begin, Index end, int /*lane*/) {
-    for (Index row = begin; row < end; ++row) {
-      // Find the child owning this row (few children; linear scan is fine).
-      Index offset = 0;
-      for (const NodeState& cs : child_states) {
-        const Index cdim = cs.dim();
-        if (row < offset + cdim) {
-          const Index local = row - offset;
-          const auto src = cs.c.row(local);
-          std::copy(src.begin(), src.end(),
-                    state.c.row(row).begin() + offset);
-          state.x[static_cast<std::size_t>(row)] =
-              cs.x[static_cast<std::size_t>(local)];
-          break;
-        }
-        offset += cdim;
-      }
-    }
-  };
-  ctx.parallel(perf::Category::kVector, n, cost, body);
-  return state;
-}
-
-// Updates one node given its children's posteriors (empty for a leaf).
-NodeState update_node(par::ExecContext& ctx, HierNode& node,
-                      const Vector& initial_x,
-                      std::vector<NodeState> child_states,
-                      const HierSolveOptions& options,
-                      BatchUpdater& updater) {
-  NodeState state;
-  if (node.is_leaf()) {
-    state = est::make_state_from_full(initial_x, node.atom_begin,
-                                      node.atom_end, options.prior_sigma);
-  } else {
-    state = assemble_from_children(ctx, node, child_states);
-  }
-  child_states.clear();
-  updater.apply_all(ctx, state, node.constraints, options.batch_size,
-                    options.symmetrize_every);
-  return state;
-}
-
-double rms_delta(const Vector& a, const Vector& b) {
-  PHMSE_CHECK(a.size() == b.size(), "state dimension changed between cycles");
-  if (a.empty()) return 0.0;
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum / static_cast<double>(a.size()));
-}
-
-// ---------------------------------------------------------------------------
-// Generic (single-context) recursion.
-
-NodeState solve_subtree(par::ExecContext& ctx, HierNode& node,
-                        const Vector& initial_x,
-                        const HierSolveOptions& options,
-                        BatchUpdater& updater) {
-  std::vector<NodeState> child_states;
-  child_states.reserve(node.children.size());
-  for (auto& child : node.children) {
-    child_states.push_back(
-        solve_subtree(ctx, *child, initial_x, options, updater));
-  }
-  return update_node(ctx, node, initial_x, std::move(child_states), options,
-                     updater);
-}
-
-// ---------------------------------------------------------------------------
-// Simulated recursion: one SimContext per node over its scheduled range.
-
-NodeState solve_subtree_sim(simarch::SimMachine& machine, HierNode& node,
-                            const Vector& initial_x,
-                            const HierSolveOptions& options,
-                            BatchUpdater& updater) {
-  std::vector<NodeState> child_states;
-  child_states.reserve(node.children.size());
-  for (auto& child : node.children) {
-    child_states.push_back(
-        solve_subtree_sim(machine, *child, initial_x, options, updater));
-  }
-  // The node's team forms once all children are done: the virtual clocks of
-  // its processors join at the max (children ran on disjoint sub-ranges).
-  machine.sync_range(node.proc_first, node.proc_count);
-  simarch::SimContext ctx(machine, node.proc_first, node.proc_count);
-  return update_node(ctx, node, initial_x, std::move(child_states), options,
-                     updater);
-}
-
-// ---------------------------------------------------------------------------
-// Threaded recursion: subtrees with disjoint processor groups run as tasks
-// on their group's first worker; the node's own update runs on a team over
-// its whole range.
-//
-// Exception safety: a failure anywhere in a subtree (e.g. a bad constraint
-// batch throwing phmse::Error inside a worker lane) must not deadlock the
-// join or escape into the pool's worker loop.  Remote children run inside a
-// TaskGroup, which always counts their arrival and carries the first
-// exception back; an inline-child failure is held until the remote children
-// have joined (they capture this frame by reference) and only then rethrown.
-
-NodeState solve_subtree_threaded(par::ThreadPool& pool, HierNode& node,
-                                 const Vector& initial_x,
-                                 const HierSolveOptions& options) {
-  std::vector<NodeState> child_states(node.children.size());
-
-  // Children whose group starts at this node's first worker run inline (we
-  // are already executing on that worker); the rest are dispatched to their
-  // own group's first worker.
-  std::vector<std::size_t> inline_children;
-  std::vector<std::size_t> remote_children;
-  for (std::size_t i = 0; i < node.children.size(); ++i) {
-    if (node.children[i]->proc_first == node.proc_first) {
-      inline_children.push_back(i);
-    } else {
-      remote_children.push_back(i);
-    }
-  }
-
-  par::TaskGroup group(static_cast<int>(remote_children.size()));
-  for (std::size_t i : remote_children) {
-    HierNode* child = node.children[i].get();
-    try {
-      pool.submit(child->proc_first, [&, child, i] {
-        group.run([&] {
-          child_states[i] =
-              solve_subtree_threaded(pool, *child, initial_x, options);
-        });
-      });
-    } catch (...) {
-      group.fail(std::current_exception());
-    }
-  }
-  std::exception_ptr inline_error;
-  try {
-    for (std::size_t i : inline_children) {
-      child_states[i] =
-          solve_subtree_threaded(pool, *node.children[i], initial_x, options);
-    }
-  } catch (...) {
-    inline_error = std::current_exception();
-  }
-  group.wait();  // join remote children before any unwind
-  if (inline_error) std::rethrow_exception(inline_error);
-  group.rethrow_any();
-
-  par::TeamContext ctx(pool, node.proc_first, node.proc_count);
-  BatchUpdater updater;
-  return update_node(ctx, node, initial_x, std::move(child_states), options,
-                     updater);
-}
-
-template <typename CycleFn>
-HierSolveResult run_cycles(const Vector& initial_x,
-                           const HierSolveOptions& options, CycleFn&& cycle) {
-  PHMSE_CHECK(options.max_cycles >= 1, "need at least one cycle");
+HierSolveResult to_result(SolvePlan&& plan, const PlanRunStats& stats) {
   HierSolveResult result;
-  Vector current = initial_x;
-  for (int c = 0; c < options.max_cycles; ++c) {
-    result.state = cycle(current);
-    ++result.cycles;
-    result.last_cycle_delta = rms_delta(result.state.x, current);
-    current = result.state.x;
-    if (options.tolerance > 0.0 &&
-        result.last_cycle_delta < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  result.state = plan.take_root_state();
+  result.cycles = stats.cycles;
+  result.last_cycle_delta = stats.last_cycle_delta;
+  result.converged = stats.converged;
   return result;
 }
 
@@ -216,26 +21,19 @@ HierSolveResult solve_hierarchical(par::ExecContext& ctx,
                                    Hierarchy& hierarchy,
                                    const Vector& initial_x,
                                    const HierSolveOptions& options) {
-  PHMSE_CHECK(static_cast<Index>(initial_x.size()) == hierarchy.root().dim(),
-              "initial state dimension mismatch");
-  BatchUpdater updater;
-  return run_cycles(initial_x, options, [&](const Vector& x0) {
-    return solve_subtree(ctx, hierarchy.root(), x0, options, updater);
-  });
+  SolvePlan plan(hierarchy, options);
+  const PlanRunStats stats = plan.run(ctx, initial_x);
+  return to_result(std::move(plan), stats);
 }
 
 SimSolveResult solve_hierarchical_sim(Hierarchy& hierarchy,
                                       const Vector& initial_x,
                                       const HierSolveOptions& options,
                                       simarch::SimMachine& machine) {
-  PHMSE_CHECK(static_cast<Index>(initial_x.size()) == hierarchy.root().dim(),
-              "initial state dimension mismatch");
-  machine.reset();
-  BatchUpdater updater;
+  SolvePlan plan(hierarchy, options);
+  const PlanRunStats stats = plan.run_sim(machine, initial_x);
   SimSolveResult out;
-  out.result = run_cycles(initial_x, options, [&](const Vector& x0) {
-    return solve_subtree_sim(machine, hierarchy.root(), x0, options, updater);
-  });
+  out.result = to_result(std::move(plan), stats);
   out.vtime = machine.elapsed();
   out.breakdown = machine.reported_profile();
   return out;
@@ -245,23 +43,9 @@ HierSolveResult solve_hierarchical_threaded(Hierarchy& hierarchy,
                                             const Vector& initial_x,
                                             const HierSolveOptions& options,
                                             par::ThreadPool& pool) {
-  PHMSE_CHECK(static_cast<Index>(initial_x.size()) == hierarchy.root().dim(),
-              "initial state dimension mismatch");
-  return run_cycles(initial_x, options, [&](const Vector& x0) {
-    NodeState state;
-    par::TaskGroup group(1);
-    try {
-      pool.submit(hierarchy.root().proc_first, [&] {
-        group.run([&] {
-          state = solve_subtree_threaded(pool, hierarchy.root(), x0, options);
-        });
-      });
-    } catch (...) {
-      group.fail(std::current_exception());
-    }
-    group.join();  // waits, then rethrows a subtree failure on this thread
-    return state;
-  });
+  SolvePlan plan(hierarchy, options);
+  const PlanRunStats stats = plan.run_threaded(pool, initial_x);
+  return to_result(std::move(plan), stats);
 }
 
 }  // namespace phmse::core

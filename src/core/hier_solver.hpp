@@ -1,13 +1,13 @@
-// Hierarchical solvers (paper Sections 3 and 4).
+// One-shot hierarchical solve entry points (paper Sections 3 and 4).
 //
-// The estimate is propagated leaf-to-root in post-order.  A leaf starts
-// from the initial state vector slice and the spherical prior; an interior
-// node concatenates its children's posterior states and assembles their
-// covariances as diagonal blocks (the children are mutually uncorrelated
-// until the node's own boundary-spanning constraints are applied); every
-// node then runs the Fig.-1 update over its assigned constraints.
+// These are thin shims over core::SolvePlan (see solve_plan.hpp), kept for
+// callers that solve a hierarchy exactly once: each call compiles a
+// transient plan, executes it, and returns the root posterior.  Code that
+// solves repeatedly — parameter sweeps, speedup studies, serving — should
+// compile a plan once (or use the phmse::Engine facade) and re-run it, which
+// skips all per-call setup and allocation.
 //
-// Three execution modes share this logic:
+// Three execution modes share the plan's single update path:
 //   * solve_hierarchical          — any ExecContext (serial baseline);
 //   * solve_hierarchical_sim      — virtual processors of a SimMachine,
 //                                   following the static schedule
@@ -21,30 +21,12 @@
 #pragma once
 
 #include "core/hierarchy.hpp"
+#include "core/solve_plan.hpp"
 #include "estimation/solver.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simarch/sim_context.hpp"
 
 namespace phmse::core {
-
-/// Options for the hierarchical solve; see est::SolveOptions for the
-/// per-node update parameters.
-struct HierSolveOptions {
-  Index batch_size = 16;
-  int max_cycles = 1;
-  double tolerance = 0.0;
-  /// See est::SolveOptions::prior_sigma.
-  double prior_sigma = 1.0;
-  Index symmetrize_every = 64;
-};
-
-/// Result: the root posterior plus cycle statistics.
-struct HierSolveResult {
-  est::NodeState state;
-  int cycles = 0;
-  double last_cycle_delta = 0.0;
-  bool converged = false;
-};
 
 /// Post-order hierarchical solve on an arbitrary context.  `initial_x` is
 /// the full-molecule initial state (dimension 3 * root atoms).
@@ -52,15 +34,6 @@ HierSolveResult solve_hierarchical(par::ExecContext& ctx,
                                    Hierarchy& hierarchy,
                                    const linalg::Vector& initial_x,
                                    const HierSolveOptions& options);
-
-/// Result of a simulated run.
-struct SimSolveResult {
-  HierSolveResult result;
-  /// Simulated work time (max virtual clock), seconds.
-  double vtime = 0.0;
-  /// Per-category time: max over processors (paper Tables 3-6 convention).
-  perf::Profile breakdown;
-};
 
 /// Simulated parallel solve following the static schedule on `machine`.
 /// assign_processors() must have been run with the machine's processor

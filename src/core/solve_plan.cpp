@@ -1,0 +1,239 @@
+#include "core/solve_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+
+#include "parallel/task_group.hpp"
+#include "parallel/team.hpp"
+#include "support/check.hpp"
+
+namespace phmse::core {
+namespace {
+
+using est::NodeState;
+using linalg::Vector;
+
+double rms_delta(const Vector& a, const Vector& b) {
+  PHMSE_CHECK(a.size() == b.size(), "state dimension changed between cycles");
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+}  // namespace
+
+SolvePlan::SolvePlan(Hierarchy& hierarchy, const HierSolveOptions& options)
+    : hierarchy_(&hierarchy), options_(options) {
+  nodes_.reserve(static_cast<std::size_t>(hierarchy.num_nodes()));
+  build_(hierarchy.root());
+
+  // Pre-size every workspace so steady-state runs stay inside existing
+  // capacity: the node estimate at its full dimension, and the updater's
+  // scratch at the node's largest batch shape.
+  for (NodeWork& w : nodes_) {
+    const Index n = w.node->dim();
+    w.state.atom_begin = w.node->atom_begin;
+    w.state.atom_end = w.node->atom_end;
+    w.state.x.resize(static_cast<std::size_t>(n));
+    w.state.c.resize_zero(n, n);
+    const Index max_m =
+        std::min(std::max<Index>(options_.batch_size, 1),
+                 w.node->constraints.size());
+    w.updater.reserve(max_m, n);
+  }
+  prev_x_.reserve(static_cast<std::size_t>(hierarchy.root().dim()));
+  refresh_schedule();
+}
+
+std::size_t SolvePlan::build_(HierNode& node) {
+  std::vector<std::size_t> kids;
+  kids.reserve(node.children.size());
+  for (auto& child : node.children) kids.push_back(build_(*child));
+  NodeWork w;
+  w.node = &node;
+  w.children = std::move(kids);
+  nodes_.push_back(std::move(w));
+  return nodes_.size() - 1;
+}
+
+void SolvePlan::refresh_schedule() {
+  for (NodeWork& w : nodes_) {
+    w.inline_children.clear();
+    w.remote_children.clear();
+    for (std::size_t ci : w.children) {
+      if (nodes_[ci].node->proc_first == w.node->proc_first) {
+        w.inline_children.push_back(ci);
+      } else {
+        w.remote_children.push_back(ci);
+      }
+    }
+  }
+}
+
+// Assembles a node's state from its children: x is the concatenation, C the
+// block-diagonal of the children's covariances (children are uncorrelated
+// until this node's constraints couple them).  Charged as vector/copy
+// traffic.
+void SolvePlan::assemble_from_children_(par::ExecContext& ctx, NodeWork& w) {
+  NodeState& state = w.state;
+  const Index n = state.dim();
+  state.x.resize(static_cast<std::size_t>(n));
+  state.c.resize_zero(n, n);
+
+  auto cost = [&](Index begin, Index end) {
+    par::KernelStats st;
+    // Each parent row copies one child-row segment; plus the state vector.
+    st.bytes_stream = 16.0 * static_cast<double>(end - begin) *
+                      static_cast<double>(n) /
+                      static_cast<double>(w.children.size());
+    return st;
+  };
+  auto body = [&](Index begin, Index end, int /*lane*/) {
+    for (Index row = begin; row < end; ++row) {
+      // Find the child owning this row (few children; linear scan is fine).
+      Index offset = 0;
+      for (std::size_t ci : w.children) {
+        const NodeState& cs = nodes_[ci].state;
+        const Index cdim = cs.dim();
+        if (row < offset + cdim) {
+          const Index local = row - offset;
+          const auto src = cs.c.row(local);
+          std::copy(src.begin(), src.end(),
+                    state.c.row(row).begin() + offset);
+          state.x[static_cast<std::size_t>(row)] =
+              cs.x[static_cast<std::size_t>(local)];
+          break;
+        }
+        offset += cdim;
+      }
+    }
+  };
+  ctx.parallel(perf::Category::kVector, n, cost, body);
+}
+
+// Updates one node in place: refill the estimate (leaf: initial-state slice
+// + spherical prior; interior: children assembly), then apply the node's
+// constraint batches (paper Fig. 1).
+void SolvePlan::update_node_(par::ExecContext& ctx, NodeWork& w,
+                             const Vector& x0) {
+  HierNode& node = *w.node;
+  if (node.is_leaf()) {
+    est::fill_state_from_full(w.state, x0, node.atom_begin, node.atom_end,
+                              options_.prior_sigma);
+  } else {
+    assemble_from_children_(ctx, w);
+  }
+  w.updater.apply_all(ctx, w.state, node.constraints, options_.batch_size,
+                      options_.symmetrize_every);
+}
+
+template <typename PassFn>
+PlanRunStats SolvePlan::run_cycles_(const Vector& initial_x, PassFn&& pass) {
+  PHMSE_CHECK(static_cast<Index>(initial_x.size()) == hierarchy_->root().dim(),
+              "initial state dimension mismatch");
+  PHMSE_CHECK(options_.max_cycles >= 1, "need at least one cycle");
+  PlanRunStats stats;
+  prev_x_ = initial_x;
+  for (int c = 0; c < options_.max_cycles; ++c) {
+    pass(static_cast<const Vector&>(prev_x_));
+    ++stats.cycles;
+    const NodeState& root = nodes_.back().state;
+    stats.last_cycle_delta = rms_delta(root.x, prev_x_);
+    prev_x_ = root.x;
+    if (options_.tolerance > 0.0 &&
+        stats.last_cycle_delta < options_.tolerance) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+PlanRunStats SolvePlan::run(par::ExecContext& ctx, const Vector& initial_x) {
+  return run_cycles_(initial_x, [&](const Vector& x0) {
+    // nodes_ is post-order, so children are always updated before their
+    // parent reads them: the recursion flattens to one loop.
+    for (NodeWork& w : nodes_) update_node_(ctx, w, x0);
+  });
+}
+
+PlanRunStats SolvePlan::run_sim(simarch::SimMachine& machine,
+                                const Vector& initial_x) {
+  machine.reset();
+  return run_cycles_(initial_x, [&](const Vector& x0) {
+    for (NodeWork& w : nodes_) {
+      // The node's team forms once all children are done: the virtual
+      // clocks of its processors join at the max (children ran on disjoint
+      // sub-ranges).
+      machine.sync_range(w.node->proc_first, w.node->proc_count);
+      simarch::SimContext ctx(machine, w.node->proc_first,
+                              w.node->proc_count);
+      update_node_(ctx, w, x0);
+    }
+  });
+}
+
+// Threaded recursion: subtrees with disjoint processor groups run as tasks
+// on their group's first worker; the node's own update runs on a team over
+// its whole range.
+//
+// Exception safety: a failure anywhere in a subtree (e.g. a bad constraint
+// batch throwing phmse::Error inside a worker lane) must not deadlock the
+// join or escape into the pool's worker loop.  Remote children run inside a
+// TaskGroup, which always counts their arrival and carries the first
+// exception back; an inline-child failure is held until the remote children
+// have joined (they capture this frame by reference) and only then rethrown.
+void SolvePlan::run_threaded_node_(par::ThreadPool& pool, std::size_t index,
+                                   const Vector& x0) {
+  NodeWork& w = nodes_[index];
+  par::TaskGroup group(static_cast<int>(w.remote_children.size()));
+  for (std::size_t ci : w.remote_children) {
+    HierNode* child = nodes_[ci].node;
+    try {
+      pool.submit(child->proc_first, [&, ci] {
+        group.run([&] { run_threaded_node_(pool, ci, x0); });
+      });
+    } catch (...) {
+      group.fail(std::current_exception());
+    }
+  }
+  std::exception_ptr inline_error;
+  try {
+    for (std::size_t ci : w.inline_children) run_threaded_node_(pool, ci, x0);
+  } catch (...) {
+    inline_error = std::current_exception();
+  }
+  group.wait();  // join remote children before any unwind
+  if (inline_error) std::rethrow_exception(inline_error);
+  group.rethrow_any();
+
+  par::TeamContext ctx(pool, w.node->proc_first, w.node->proc_count);
+  update_node_(ctx, w, x0);
+  w.profile += ctx.profile();
+}
+
+PlanRunStats SolvePlan::run_threaded(par::ThreadPool& pool,
+                                     const Vector& initial_x) {
+  for (NodeWork& w : nodes_) w.profile.clear();
+  PlanRunStats stats = run_cycles_(initial_x, [&](const Vector& x0) {
+    par::TaskGroup group(1);
+    try {
+      pool.submit(hierarchy_->root().proc_first, [&] {
+        group.run([&] { run_threaded_node_(pool, nodes_.size() - 1, x0); });
+      });
+    } catch (...) {
+      group.fail(std::current_exception());
+    }
+    group.join();  // waits, then rethrows a subtree failure on this thread
+  });
+  threaded_profile_.clear();
+  for (const NodeWork& w : nodes_) threaded_profile_ += w.profile;
+  return stats;
+}
+
+}  // namespace phmse::core

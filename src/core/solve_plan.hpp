@@ -1,0 +1,158 @@
+// Compiled solve plan: the execute half of the plan/execute split.
+//
+// Everything about a hierarchical solve that does not depend on the
+// observation *values* — the tree shape, which constraints land on which
+// node, batch boundaries, the §4.3 processor schedule, and the scratch
+// buffers every node needs — is captured once in a SolvePlan.  Executing
+// the plan (serial, threaded, or simulated) then walks a flattened
+// post-order node list through one shared update path, so repeated solves
+// against fresh observations or noise realizations touch no setup code and,
+// in the serial steady state, perform no heap allocation at all.
+//
+// The estimate is propagated leaf-to-root in post-order.  A leaf starts
+// from the initial state vector slice and the spherical prior; an interior
+// node concatenates its children's posterior states and assembles their
+// covariances as diagonal blocks (the children are mutually uncorrelated
+// until the node's own boundary-spanning constraints are applied); every
+// node then runs the Fig.-1 update over its assigned constraints.  All
+// three execution modes apply constraints in the same order and therefore
+// produce bitwise-identical numerics.
+#pragma once
+
+#include <vector>
+
+#include "core/hierarchy.hpp"
+#include "estimation/state.hpp"
+#include "estimation/update.hpp"
+#include "parallel/exec.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simarch/sim_context.hpp"
+
+namespace phmse::core {
+
+/// Options for the hierarchical solve; see est::SolveOptions for the
+/// per-node update parameters.
+struct HierSolveOptions {
+  Index batch_size = 16;
+  int max_cycles = 1;
+  double tolerance = 0.0;
+  /// See est::SolveOptions::prior_sigma.
+  double prior_sigma = 1.0;
+  Index symmetrize_every = 64;
+};
+
+/// Result: the root posterior plus cycle statistics.
+struct HierSolveResult {
+  est::NodeState state;
+  int cycles = 0;
+  double last_cycle_delta = 0.0;
+  bool converged = false;
+};
+
+/// Result of a simulated run.
+struct SimSolveResult {
+  HierSolveResult result;
+  /// Simulated work time (max virtual clock), seconds.
+  double vtime = 0.0;
+  /// Per-category time: max over processors (paper Tables 3-6 convention).
+  perf::Profile breakdown;
+};
+
+/// Cycle statistics of one plan execution (the root posterior stays inside
+/// the plan; read it with root_state()).
+struct PlanRunStats {
+  int cycles = 0;
+  double last_cycle_delta = 0.0;
+  bool converged = false;
+};
+
+/// A compiled, repeatedly-executable hierarchical solve.
+///
+/// The plan borrows `hierarchy` (tree shape, per-node constraint lists and
+/// processor schedule) and owns every per-node workspace: the node's
+/// persistent (x, C) estimate and a BatchUpdater whose scratch buffers are
+/// pre-sized for the node's batch shape.  run()/run_sim()/run_threaded()
+/// share one node-update code path and may be called any number of times;
+/// after the first call every buffer is warm and a serial run() performs
+/// zero heap allocations (tests/alloc_test.cpp pins this).
+///
+/// If the processor schedule on the hierarchy changes (assign_processors
+/// with a new count), call refresh_schedule() before the next threaded or
+/// simulated run.
+class SolvePlan {
+ public:
+  SolvePlan(Hierarchy& hierarchy, const HierSolveOptions& options);
+
+  SolvePlan(const SolvePlan&) = delete;
+  SolvePlan& operator=(const SolvePlan&) = delete;
+  SolvePlan(SolvePlan&&) = default;
+  SolvePlan& operator=(SolvePlan&&) = default;
+
+  /// Post-order solve on an arbitrary context.  `initial_x` is the
+  /// full-molecule initial state (dimension 3 * root atoms).
+  PlanRunStats run(par::ExecContext& ctx, const linalg::Vector& initial_x);
+
+  /// Simulated parallel solve following the static schedule on `machine`
+  /// (which is reset first); read machine.elapsed() and
+  /// machine.reported_profile() afterwards for the virtual timing.
+  PlanRunStats run_sim(simarch::SimMachine& machine,
+                       const linalg::Vector& initial_x);
+
+  /// Real-thread parallel solve following the static schedule on `pool`.
+  ///
+  /// Exception safety: a failure anywhere in the tree (e.g. a bad
+  /// constraint batch throwing phmse::Error on a worker lane) propagates to
+  /// the caller as that same exception — no deadlocked join, no
+  /// std::terminate — and `pool` remains usable for subsequent solves.
+  PlanRunStats run_threaded(par::ThreadPool& pool,
+                            const linalg::Vector& initial_x);
+
+  /// Re-derives the inline/remote child partition from the hierarchy's
+  /// current proc_first/proc_count values.
+  void refresh_schedule();
+
+  /// The root posterior of the most recent run.
+  const est::NodeState& root_state() const { return nodes_.back().state; }
+
+  /// Moves the root posterior out (for callers that outlive the plan).
+  est::NodeState take_root_state() { return std::move(nodes_.back().state); }
+
+  /// Per-category time of the most recent run_threaded(), summed over all
+  /// node teams.
+  const perf::Profile& threaded_profile() const { return threaded_profile_; }
+
+  const HierSolveOptions& options() const { return options_; }
+  Hierarchy& hierarchy() { return *hierarchy_; }
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+
+ private:
+  /// One hierarchy node's compiled workspace.  `children` and the
+  /// inline/remote partition index into nodes_ (which is stored post-order,
+  /// so children always precede their parent).
+  struct NodeWork {
+    HierNode* node = nullptr;
+    est::NodeState state;
+    est::BatchUpdater updater;
+    std::vector<std::size_t> children;
+    std::vector<std::size_t> inline_children;
+    std::vector<std::size_t> remote_children;
+    perf::Profile profile;
+  };
+
+  std::size_t build_(HierNode& node);
+  void assemble_from_children_(par::ExecContext& ctx, NodeWork& w);
+  void update_node_(par::ExecContext& ctx, NodeWork& w,
+                    const linalg::Vector& x0);
+  void run_threaded_node_(par::ThreadPool& pool, std::size_t index,
+                          const linalg::Vector& x0);
+  template <typename PassFn>
+  PlanRunStats run_cycles_(const linalg::Vector& initial_x, PassFn&& pass);
+
+  Hierarchy* hierarchy_ = nullptr;
+  HierSolveOptions options_;
+  std::vector<NodeWork> nodes_;  // post-order; root last
+  linalg::Vector prev_x_;        // previous cycle's root state
+  perf::Profile threaded_profile_;
+};
+
+}  // namespace phmse::core

@@ -1,0 +1,231 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "core/schedule.hpp"
+#include "estimation/update.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace phmse::engine {
+
+namespace {
+
+// Eq.-1 calibration: time the Fig.-1 batch update on short synthetic
+// distance batches at a few representative node sizes, and fit the
+// constrained least-squares model to the measured per-constraint costs.
+// Degenerate fits (all-zero model) fall back to the caller's coefficients.
+core::WorkModel calibrate_work_model(core::Hierarchy& hierarchy,
+                                     const core::HierSolveOptions& solve,
+                                     const core::WorkModel& fallback) {
+  // Representative state dimensions: the smallest and largest node, capped
+  // so calibration stays cheap even for ribosome-sized roots (Eq. 1 is a
+  // polynomial; moderate sizes identify its coefficients).
+  constexpr Index kDimCap = 240;
+  Index dim_min = std::numeric_limits<Index>::max();
+  Index dim_max = 0;
+  hierarchy.for_each_post_order([&](core::HierNode& node) {
+    dim_min = std::min(dim_min, node.dim());
+    dim_max = std::max(dim_max, node.dim());
+  });
+  dim_min = std::clamp<Index>(dim_min, 6, kDimCap);
+  dim_max = std::clamp<Index>(dim_max, dim_min, kDimCap);
+
+  std::vector<Index> dims{dim_min};
+  if (dim_max > dim_min) dims.push_back(dim_max);
+  if (dim_max > 2 * dim_min) {
+    dims.insert(dims.begin() + 1, 3 * ((dim_min + dim_max) / 6));
+  }
+
+  const Index m_full = std::max<Index>(solve.batch_size, 1);
+  std::vector<Index> batch_dims{m_full};
+  if (m_full >= 4) batch_dims.push_back(m_full / 2);
+
+  constexpr double kMinSeconds = 0.004;  // per (n, m) measurement
+  std::vector<core::WorkSample> samples;
+  par::SerialContext ctx;
+  for (Index n : dims) {
+    const Index atoms = std::max<Index>(n / 3, 2);
+    est::NodeState state;
+    state.atom_begin = 0;
+    state.atom_end = atoms;
+    state.x.resize(static_cast<std::size_t>(state.dim()));
+    for (Index a = 0; a < atoms; ++a) {  // atoms on a line, spaced 1.5 A
+      state.x[static_cast<std::size_t>(3 * a)] = 1.5 * static_cast<double>(a);
+    }
+    state.reset_covariance(solve.prior_sigma);
+
+    for (Index m : batch_dims) {
+      std::vector<cons::Constraint> batch(static_cast<std::size_t>(m));
+      for (Index j = 0; j < m; ++j) {
+        cons::Constraint& c = batch[static_cast<std::size_t>(j)];
+        c.kind = cons::Kind::kDistance;
+        const Index a = j % (atoms - 1);
+        c.atoms = {a, a + 1, 0, 0};
+        c.observed = 1.5;
+        c.variance = 0.01;
+      }
+      est::BatchUpdater updater;
+      updater.apply(ctx, state, batch);  // warm the scratch buffers
+      Stopwatch sw;
+      int reps = 0;
+      do {
+        updater.apply(ctx, state, batch);
+        ++reps;
+      } while (sw.seconds() < kMinSeconds);
+      const double per = sw.seconds() /
+                         (static_cast<double>(reps) * static_cast<double>(m));
+      samples.push_back({static_cast<double>(n), static_cast<double>(m), per});
+      state.reset_covariance(solve.prior_sigma);
+    }
+  }
+
+  try {
+    return core::fit_work_model(samples);
+  } catch (const Error&) {
+    return fallback;  // degenerate measurement; keep the supplied model
+  }
+}
+
+}  // namespace
+
+Problem Problem::flat(Index num_atoms, cons::ConstraintSet constraints) {
+  return custom(num_atoms, std::move(constraints),
+                [num_atoms] { return core::build_flat_hierarchy(num_atoms); });
+}
+
+Problem Problem::bisection(Index num_atoms, cons::ConstraintSet constraints,
+                           Index max_leaf_atoms) {
+  return custom(num_atoms, std::move(constraints), [num_atoms, max_leaf_atoms] {
+    return core::build_bisection_hierarchy(num_atoms, max_leaf_atoms);
+  });
+}
+
+Problem Problem::custom(Index num_atoms, cons::ConstraintSet constraints,
+                        std::function<core::Hierarchy()> decompose) {
+  Problem p;
+  p.num_atoms = num_atoms;
+  p.constraints = std::move(constraints);
+  p.decompose = std::move(decompose);
+  return p;
+}
+
+Plan Engine::compile(const Problem& problem, const CompileOptions& options) {
+  PHMSE_CHECK(problem.decompose != nullptr,
+              "problem has no decomposition recipe");
+  PHMSE_CHECK(options.processors >= 1, "processor count must be >= 1");
+
+  Plan plan;
+  Stopwatch total;
+  Stopwatch phase;
+
+  plan.hierarchy_ = std::make_unique<core::Hierarchy>(problem.decompose());
+  plan.hierarchy_->validate();
+  PHMSE_CHECK(plan.hierarchy_->root().atom_begin == 0 &&
+                  plan.hierarchy_->root().atom_end == problem.num_atoms,
+              "decomposition does not cover the problem's atom range");
+  plan.timings_.decompose_seconds = phase.seconds();
+
+  phase.reset();
+  core::assign_constraints(*plan.hierarchy_, problem.constraints,
+                           plan.slots_);
+  plan.timings_.assign_seconds = phase.seconds();
+
+  plan.work_model_ = options.work_model;
+  if (options.calibrate_work_model) {
+    phase.reset();
+    plan.work_model_ = calibrate_work_model(*plan.hierarchy_, options.solve,
+                                            options.work_model);
+    plan.timings_.calibrate_seconds = phase.seconds();
+  }
+
+  phase.reset();
+  core::estimate_work(*plan.hierarchy_, plan.work_model_,
+                      options.solve.batch_size);
+  core::assign_processors(*plan.hierarchy_, options.processors);
+  plan.processors_ = options.processors;
+  plan.timings_.schedule_seconds = phase.seconds();
+
+  phase.reset();
+  plan.plan_ =
+      std::make_unique<core::SolvePlan>(*plan.hierarchy_, options.solve);
+  plan.timings_.workspace_seconds = phase.seconds();
+  plan.timings_.total_seconds = total.seconds();
+  return plan;
+}
+
+namespace {
+
+Result make_result(const core::SolvePlan& plan,
+                   const core::PlanRunStats& stats, double seconds) {
+  Result r;
+  r.state = &plan.root_state();
+  r.cycles = stats.cycles;
+  r.last_cycle_delta = stats.last_cycle_delta;
+  r.converged = stats.converged;
+  r.seconds = seconds;
+  return r;
+}
+
+}  // namespace
+
+Result Plan::solve(const linalg::Vector& initial_x) {
+  return solve(serial_, initial_x);
+}
+
+Result Plan::solve(par::ExecContext& ctx, const linalg::Vector& initial_x) {
+  const perf::Profile before = ctx.profile();
+  Stopwatch sw;
+  const core::PlanRunStats stats = plan_->run(ctx, initial_x);
+  Result r = make_result(*plan_, stats, sw.seconds());
+  r.breakdown = ctx.profile().minus(before);
+  return r;
+}
+
+Result Plan::solve(par::ThreadPool& pool, const linalg::Vector& initial_x) {
+  Stopwatch sw;
+  const core::PlanRunStats stats = plan_->run_threaded(pool, initial_x);
+  Result r = make_result(*plan_, stats, sw.seconds());
+  r.breakdown = plan_->threaded_profile();
+  return r;
+}
+
+Result Plan::solve(simarch::SimMachine& machine,
+                   const linalg::Vector& initial_x) {
+  Stopwatch sw;
+  const core::PlanRunStats stats = plan_->run_sim(machine, initial_x);
+  Result r = make_result(*plan_, stats, sw.seconds());
+  r.vtime = machine.elapsed();
+  r.breakdown = machine.reported_profile();
+  return r;
+}
+
+void Plan::reschedule(int processors) {
+  PHMSE_CHECK(processors >= 1, "processor count must be >= 1");
+  core::assign_processors(*hierarchy_, processors);
+  plan_->refresh_schedule();
+  processors_ = processors;
+}
+
+void Plan::set_observations(std::span<const double> values) {
+  PHMSE_CHECK(values.size() == slots_.size(),
+              "observation count does not match the compiled constraints");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const core::AssignedSlot& slot = slots_[i];
+    slot.node->constraints.set_observed(slot.index, values[i]);
+  }
+}
+
+std::string Plan::describe() const {
+  std::ostringstream os;
+  os << "plan: " << hierarchy_->num_nodes() << " nodes, "
+     << hierarchy_->total_constraints() << " constraints, P=" << processors_
+     << "\n";
+  os << core::describe_schedule(*hierarchy_);
+  return os.str();
+}
+
+}  // namespace phmse::engine

@@ -1,0 +1,178 @@
+// phmse::Engine — the compile-once / solve-many facade.
+//
+// Everything the paper derives before numbers flow — the §3 hierarchical
+// decomposition, constraint-to-node assignment, Eq.-1 work-model
+// calibration, and the §4.3 static processor schedule — is observation-
+// independent setup.  The facade splits it out:
+//
+//   Problem  — topology size + constraint set + a decomposition recipe;
+//   Plan     — the compiled artifact (Engine::compile): hierarchy, slots,
+//              work model, schedule, and a core::SolvePlan with pre-sized
+//              per-node workspaces;
+//   solve()  — executes the plan against fresh observation values on any
+//              executor (owned serial context, caller's ExecContext, a
+//              ThreadPool, or a simulated machine), returning the posterior
+//              with per-phase timing and per-category perf counters.
+//
+// A plan is reused across solves, processor counts (reschedule) and
+// observation vectors (set_observations); after the first solve the serial
+// steady state performs zero heap allocations.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/assign.hpp"
+#include "core/hierarchy.hpp"
+#include "core/solve_plan.hpp"
+#include "core/work_model.hpp"
+#include "parallel/exec.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simarch/sim_context.hpp"
+
+namespace phmse::engine {
+
+/// The observation-independent problem statement: how many atoms, which
+/// measurements, and how to decompose the molecule into a hierarchy.
+struct Problem {
+  Index num_atoms = 0;
+  cons::ConstraintSet constraints;
+  /// Builds the §3 hierarchy over atoms [0, num_atoms).  Invoked once per
+  /// compile; the callback owns whatever model state it needs.
+  std::function<core::Hierarchy()> decompose;
+
+  /// Single-node decomposition: the flat (non-hierarchical) solver.
+  static Problem flat(Index num_atoms, cons::ConstraintSet constraints);
+
+  /// Recursive bisection down to `max_leaf_atoms` atoms per leaf.
+  static Problem bisection(Index num_atoms, cons::ConstraintSet constraints,
+                           Index max_leaf_atoms);
+
+  /// Any decomposition recipe (helix/ribosome builders, graph partition,
+  /// bottom-up grouping, hand-built trees).
+  static Problem custom(Index num_atoms, cons::ConstraintSet constraints,
+                        std::function<core::Hierarchy()> decompose);
+};
+
+/// Compilation parameters.
+struct CompileOptions {
+  /// Per-solve parameters baked into the plan (batch size, cycles,
+  /// tolerance, prior).
+  core::HierSolveOptions solve;
+  /// Processor count for the §4.3 static schedule (reschedule() revises).
+  int processors = 1;
+  /// Eq.-1 work model driving the schedule, used as-is unless calibration
+  /// is requested (and as the fallback if calibration degenerates).
+  core::WorkModel work_model;
+  /// Measure Eq. 1 on this host with short synthetic batch timings instead
+  /// of trusting `work_model`'s coefficients.
+  bool calibrate_work_model = false;
+};
+
+/// Wall-clock seconds spent in each compile phase.
+struct CompileTimings {
+  double decompose_seconds = 0.0;
+  double assign_seconds = 0.0;
+  double calibrate_seconds = 0.0;
+  double schedule_seconds = 0.0;
+  double workspace_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Outcome of one plan execution.
+struct Result {
+  /// Root posterior (x, C) — borrowed from the plan, valid until the next
+  /// solve on (or destruction of) the same plan.
+  const est::NodeState* state = nullptr;
+  int cycles = 0;
+  double last_cycle_delta = 0.0;
+  bool converged = false;
+  /// Host wall-clock seconds of this solve.
+  double seconds = 0.0;
+  /// Simulated work time (virtual seconds); nonzero only for simulated
+  /// solves.
+  double vtime = 0.0;
+  /// Per-category time of this solve: the executor's own accounting (real
+  /// seconds serially/threaded, virtual seconds simulated).
+  perf::Profile breakdown;
+
+  const est::NodeState& posterior() const {
+    PHMSE_CHECK(state != nullptr, "result holds no posterior");
+    return *state;
+  }
+};
+
+/// A compiled problem: reusable across repeated solves, executors,
+/// processor counts, and observation vectors.  Movable, non-copyable.
+class Plan {
+ public:
+  Plan(Plan&&) = default;
+  Plan& operator=(Plan&&) = default;
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  /// Serial solve on the plan's own context.  After the first call this is
+  /// the zero-allocation steady-state path.
+  Result solve(const linalg::Vector& initial_x);
+
+  /// Solve on a caller-provided context (serial, team, or simulated).
+  Result solve(par::ExecContext& ctx, const linalg::Vector& initial_x);
+
+  /// Threaded solve following the §4.3 schedule on `pool` (see
+  /// core::SolvePlan::run_threaded for the exception-safety contract).
+  Result solve(par::ThreadPool& pool, const linalg::Vector& initial_x);
+
+  /// Simulated solve on `machine` (reset first); Result::vtime and the
+  /// breakdown carry the virtual timing.
+  Result solve(simarch::SimMachine& machine, const linalg::Vector& initial_x);
+
+  /// Recomputes the §4.3 schedule for a new processor count; the same plan
+  /// then serves speedup sweeps without re-compiling.
+  void reschedule(int processors);
+
+  /// Rebinds fresh observed values onto the compiled constraint slots:
+  /// values[i] replaces the observed value of the i-th constraint of the
+  /// problem the plan was compiled from.
+  void set_observations(std::span<const double> values);
+
+  int processors() const { return processors_; }
+  const core::WorkModel& work_model() const { return work_model_; }
+  const CompileTimings& timings() const { return timings_; }
+  const core::HierSolveOptions& options() const { return plan_->options(); }
+  core::Hierarchy& hierarchy() { return *hierarchy_; }
+  const core::Hierarchy& hierarchy() const { return *hierarchy_; }
+
+  /// Human-readable plan dump: tree, schedule, work model.
+  std::string describe() const;
+
+ private:
+  friend class Engine;
+  Plan() = default;
+
+  std::unique_ptr<core::Hierarchy> hierarchy_;
+  std::vector<core::AssignedSlot> slots_;
+  std::unique_ptr<core::SolvePlan> plan_;
+  par::SerialContext serial_;
+  core::WorkModel work_model_;
+  int processors_ = 1;
+  CompileTimings timings_;
+};
+
+/// The facade entry point.
+class Engine {
+ public:
+  /// Compiles `problem` into an executable Plan: decompose, assign
+  /// constraints (recording rebind slots), optionally calibrate Eq. 1,
+  /// estimate work, schedule §4.3 processors, and pre-size all workspaces.
+  static Plan compile(const Problem& problem,
+                      const CompileOptions& options = {});
+};
+
+}  // namespace phmse::engine
+
+namespace phmse {
+using engine::Engine;
+}  // namespace phmse

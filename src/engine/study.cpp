@@ -1,25 +1,23 @@
-#include "core/study.hpp"
+#include "engine/study.hpp"
 
 #include "support/check.hpp"
 #include "support/table.hpp"
 
-namespace phmse::core {
+namespace phmse::engine {
 
-SpeedupStudy run_speedup_study(const ProblemFactory& factory,
-                               const linalg::Vector& initial,
-                               const HierSolveOptions& options,
+SpeedupStudy run_speedup_study(Plan& plan, const linalg::Vector& initial,
                                const simarch::MachineConfig& machine,
                                const std::vector<int>& counts) {
   PHMSE_CHECK(!counts.empty(), "study needs at least one processor count");
   SpeedupStudy study;
   study.machine = machine.name;
+  const int original_processors = plan.processors();
   double t_first = 0.0;
   for (int procs : counts) {
     if (procs < 1 || procs > machine.processors) continue;
-    Hierarchy h = factory(procs);
+    plan.reschedule(procs);
     simarch::SimMachine sim(machine);
-    const SimSolveResult res =
-        solve_hierarchical_sim(h, initial, options, sim);
+    const Result res = plan.solve(sim, initial);
     StudyRow row;
     row.processors = procs;
     row.time = res.vtime;
@@ -28,6 +26,7 @@ SpeedupStudy run_speedup_study(const ProblemFactory& factory,
     row.breakdown = res.breakdown;
     study.rows.push_back(std::move(row));
   }
+  plan.reschedule(original_processors);
   PHMSE_CHECK(!study.rows.empty(),
               "no processor count fits the machine configuration");
   return study;
@@ -50,4 +49,4 @@ std::string format_speedup_table(const SpeedupStudy& study) {
   return t.str();
 }
 
-}  // namespace phmse::core
+}  // namespace phmse::engine

@@ -2,17 +2,19 @@
 //
 // The paper's evaluation protocol — run one full constraint cycle at each
 // processor count, report work time, speedup, and the per-category time
-// distribution (Tables 3-6) — packaged so benches, tests and downstream
-// users replay it on any problem and machine configuration.
+// distribution (Tables 3-6) — packaged over a compiled Plan: the plan is
+// compiled once, rescheduled per processor count, and executed on a fresh
+// simulated machine for every row.  Numerics are identical across rows
+// (the schedule changes placement, not arithmetic), so only timing differs.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <vector>
 
-#include "core/hier_solver.hpp"
+#include "engine/engine.hpp"
+#include "simarch/machine.hpp"
 
-namespace phmse::core {
+namespace phmse::engine {
 
 /// One row of a speedup table.
 struct StudyRow {
@@ -33,18 +35,10 @@ struct SpeedupStudy {
   }
 };
 
-/// Builds a fresh scheduled hierarchy for the given processor count.  The
-/// callback owns problem construction so every run starts from identical
-/// state (the solver mutates nothing outside the hierarchy it is given).
-using ProblemFactory = std::function<Hierarchy(int processors)>;
-
-/// Runs `options.max_cycles` cycles at every processor count in `counts`
+/// Runs the plan's configured cycles at every processor count in `counts`
 /// (entries exceeding the machine size are skipped) and collects the
-/// paper-style rows.  Numerics are identical across rows (the schedule
-/// changes placement, not arithmetic), so only timing differs.
-SpeedupStudy run_speedup_study(const ProblemFactory& factory,
-                               const linalg::Vector& initial,
-                               const HierSolveOptions& options,
+/// paper-style rows.  The plan's original schedule is restored afterwards.
+SpeedupStudy run_speedup_study(Plan& plan, const linalg::Vector& initial,
                                const simarch::MachineConfig& machine,
                                const std::vector<int>& counts);
 
@@ -52,4 +46,4 @@ SpeedupStudy run_speedup_study(const ProblemFactory& factory,
 /// (NP / time / spdup / d-s / chol / sys / m-m / m-v / vec).
 std::string format_speedup_table(const SpeedupStudy& study);
 
-}  // namespace phmse::core
+}  // namespace phmse::engine

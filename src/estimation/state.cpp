@@ -30,15 +30,20 @@ NodeState make_initial_state(const mol::Topology& topology, Index begin,
 
 NodeState make_state_from_full(const linalg::Vector& full_x, Index begin,
                                Index end, double prior_sigma) {
+  NodeState st;
+  fill_state_from_full(st, full_x, begin, end, prior_sigma);
+  return st;
+}
+
+void fill_state_from_full(NodeState& st, const linalg::Vector& full_x,
+                          Index begin, Index end, double prior_sigma) {
   PHMSE_CHECK(begin >= 0 && begin <= end &&
                   3 * end <= static_cast<Index>(full_x.size()),
               "atom range out of bounds");
-  NodeState st;
   st.atom_begin = begin;
   st.atom_end = end;
   st.x.assign(full_x.begin() + 3 * begin, full_x.begin() + 3 * end);
   st.reset_covariance(prior_sigma);
-  return st;
 }
 
 }  // namespace phmse::est

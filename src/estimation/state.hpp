@@ -55,4 +55,10 @@ NodeState make_initial_state(const mol::Topology& topology, Index begin,
 NodeState make_state_from_full(const linalg::Vector& full_x, Index begin,
                                Index end, double prior_sigma);
 
+/// In-place variant of make_state_from_full: refills `st` from `full_x`
+/// reusing its existing x/C capacity, so a leaf state that persists across
+/// solves never reallocates.
+void fill_state_from_full(NodeState& st, const linalg::Vector& full_x,
+                          Index begin, Index end, double prior_sigma);
+
 }  // namespace phmse::est

@@ -25,7 +25,8 @@ void BatchUpdater::linearize(par::ExecContext& ctx, const NodeState& state,
     return st;
   };
   ctx.sequential(perf::Category::kOther, cost, [&] {
-    CsrBuilder builder(state.dim());
+    CsrBuilder& builder = builder_;
+    builder.reset(state.dim());
     for (Index j = 0; j < m; ++j) {
       const Constraint& c = batch[static_cast<std::size_t>(j)];
       const Index na = cons::arity(c.kind);
@@ -54,7 +55,7 @@ void BatchUpdater::linearize(par::ExecContext& ctx, const NodeState& state,
         if (g.z != 0.0) builder.add(col + 2, g.z);
       }
     }
-    h_ = builder.finish();
+    builder.finish_into(h_);
   });
 }
 
@@ -73,21 +74,34 @@ void BatchUpdater::apply(par::ExecContext& ctx, NodeState& state,
   // construction:
   //   K (z - h) = (H C-)^T S^{-1} r = W^T (L^{-1} r)        and
   //   C+ = C- - K H C- = C- - (HC)^T S^{-1} (HC) = C- - W^T W.
-  linalg::Vector w = residual_;
+  w_ = residual_;  // member scratch: no per-batch allocation past warm-up
   ctx.sequential(
       perf::Category::kSystemSolve,
       [&](Index, Index) {
         par::KernelStats st;
-        const double md = static_cast<double>(w.size());
+        const double md = static_cast<double>(w_.size());
         st.flops = md * md;
         st.bytes_stream = 8.0 * md * md / 2.0;
         return st;
       },
-      [&] { linalg::trsv_lower(s_, w); });           // w = L^-1 r        sys
+      [&] { linalg::trsv_lower(s_, w_); });          // w = L^-1 r        sys
   dx_.assign(static_cast<std::size_t>(n), 0.0);
-  linalg::gain_times_residual(ctx, g_, w, dx_);      // dx = W^T w        m-v
+  linalg::gain_times_residual(ctx, g_, w_, dx_);     // dx = W^T w        m-v
   linalg::vec_add_inplace(ctx, dx_, state.x);        // x += dx           vec
   linalg::covariance_downdate(ctx, g_, g_, state.c); // C -= W^T W        m-v
+}
+
+void BatchUpdater::reserve(Index max_m, Index n) {
+  PHMSE_CHECK(max_m >= 0 && n >= 0, "reserve sizes must be >= 0");
+  const auto m = static_cast<std::size_t>(max_m);
+  residual_.reserve(m);
+  rdiag_.reserve(m);
+  w_.reserve(m);
+  dx_.reserve(static_cast<std::size_t>(n));
+  g_.resize(max_m, n);
+  s_.resize(max_m, max_m);
+  g_.resize(0, 0);
+  s_.resize(0, 0);
 }
 
 void BatchUpdater::apply_all(par::ExecContext& ctx, NodeState& state,

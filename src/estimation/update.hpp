@@ -41,6 +41,12 @@ class BatchUpdater {
                  const cons::ConstraintSet& set, Index batch_size,
                  Index symmetrize_every = 64);
 
+  /// Pre-sizes every scratch buffer for batches of up to `max_m` constraints
+  /// against an `n`-dimensional state, so that subsequent apply() calls work
+  /// entirely inside existing capacity.  (Without this, the first applied
+  /// batch warms the buffers instead.)
+  void reserve(Index max_m, Index n);
+
  private:
   /// Evaluates the batch at the current state: fills residual_, rdiag_ and
   /// the Jacobian.  Charged to the `other` category (the paper's O(m)
@@ -49,11 +55,13 @@ class BatchUpdater {
                  std::span<const cons::Constraint> batch);
 
   linalg::Csr h_;
+  linalg::CsrBuilder builder_;  // Jacobian assembly; capacity swaps with h_
   linalg::Matrix g_;        // H * C            (m x n)
   linalg::Matrix s_;        // innovation cov   (m x m)
   linalg::Vector residual_; // z - h(x)         (m)
   linalg::Vector rdiag_;    // noise variances  (m)
   linalg::Vector dx_;       // state correction (n)
+  linalg::Vector w_;        // whitened residual L^-1 r (m)
 };
 
 }  // namespace phmse::est

@@ -50,4 +50,25 @@ Csr CsrBuilder::finish() {
   return result;
 }
 
+void CsrBuilder::finish_into(Csr& dst) {
+  flush_row();
+  out_.cols_ = cols_;
+  dst.cols_ = out_.cols_;
+  dst.row_ptr_.swap(out_.row_ptr_);
+  dst.col_idx_.swap(out_.col_idx_);
+  dst.values_.swap(out_.values_);
+}
+
+void CsrBuilder::reset(Index cols) {
+  PHMSE_CHECK(cols >= 0, "column count must be >= 0");
+  cols_ = cols;
+  in_row_ = false;
+  current_.clear();
+  out_.cols_ = 0;
+  out_.row_ptr_.clear();
+  out_.row_ptr_.push_back(0);
+  out_.col_idx_.clear();
+  out_.values_.clear();
+}
+
 }  // namespace phmse::linalg

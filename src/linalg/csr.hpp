@@ -58,9 +58,18 @@ class Csr {
 /// entries may arrive unordered and duplicates are summed.
 class CsrBuilder {
  public:
+  /// An empty builder with no columns; call reset() before building.
+  CsrBuilder() = default;
+
   explicit CsrBuilder(Index cols) : cols_(cols) {
     PHMSE_CHECK(cols >= 0, "column count must be >= 0");
   }
+
+  /// Re-arms the builder for a fresh matrix with `cols` columns.  Keeps the
+  /// capacity of all internal buffers, so a builder that lives across
+  /// repeated assemblies stops allocating once it has seen the largest row
+  /// set (the steady-state solve path relies on this).
+  void reset(Index cols);
 
   /// Starts a new row; returns its index.
   Index begin_row();
@@ -71,8 +80,12 @@ class CsrBuilder {
   /// Finalizes and returns the CSR matrix; the builder is left empty.
   Csr finish();
 
+  /// Finalizes into `dst` by swapping buffers, so `dst`'s previous capacity
+  /// round-trips back into the builder for the next reset()/build cycle.
+  void finish_into(Csr& dst);
+
  private:
-  Index cols_;
+  Index cols_ = 0;
   bool in_row_ = false;
   std::vector<std::pair<Index, double>> current_;
   Csr out_;

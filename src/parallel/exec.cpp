@@ -21,7 +21,7 @@ void SerialContext::parallel(perf::Category cat, Index n, const CostFn& cost,
 }
 
 void SerialContext::sequential(perf::Category cat, const CostFn& cost,
-                               const std::function<void()>& body) {
+                               const SectionFn& body) {
   (void)cost;
   Stopwatch sw;
   std::exception_ptr error;

@@ -21,13 +21,54 @@
 #pragma once
 
 #include <algorithm>
-#include <functional>
+#include <memory>
+#include <type_traits>
 
 #include "perf/category.hpp"
 #include "perf/profile.hpp"
 #include "support/types.hpp"
 
 namespace phmse::par {
+
+/// Lightweight non-owning callable reference: two words, no heap, no
+/// virtual dispatch.  Kernel invocations are fully synchronous — every
+/// ExecContext joins its lanes before parallel()/sequential() returns — so
+/// binding a call-site lambda temporary is safe, and the steady-state solve
+/// loop stays free of the per-call allocation a std::function at this seam
+/// would cost (captures beyond two words defeat its small-buffer storage).
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_reference_t<F>;
+    if constexpr (std::is_function_v<Fn>) {
+      obj_ = reinterpret_cast<void*>(&f);
+      call_ = [](void* obj, Args... args) -> R {
+        return reinterpret_cast<Fn*>(obj)(std::forward<Args>(args)...);
+      };
+    } else {
+      obj_ = const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      call_ = [](void* obj, Args... args) -> R {
+        return (*static_cast<Fn*>(obj))(std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
 
 /// Work estimate for a slice of a kernel's iteration space, used by the
 /// simulated machine's cost model.
@@ -58,11 +99,14 @@ struct KernelStats {
 };
 
 /// Cost of the slice [begin, end) of the iteration space.
-using CostFn = std::function<KernelStats(Index begin, Index end)>;
+using CostFn = FunctionRef<KernelStats(Index begin, Index end)>;
 
 /// Executes the slice [begin, end); `lane` identifies the executing lane in
 /// [0, width()) for scratch-buffer selection.
-using BodyFn = std::function<void(Index begin, Index end, int lane)>;
+using BodyFn = FunctionRef<void(Index begin, Index end, int lane)>;
+
+/// A sequential-section body (see ExecContext::sequential).
+using SectionFn = FunctionRef<void()>;
 
 /// Abstract execution context.  See file comment.
 ///
@@ -92,7 +136,7 @@ class ExecContext {
   /// barrier.  Models inherently sequential sections (e.g. the panel step of
   /// a small Cholesky factorization).
   virtual void sequential(perf::Category cat, const CostFn& cost,
-                          const std::function<void()>& body) = 0;
+                          const SectionFn& body) = 0;
 
   /// Per-category time observed by this context so far.  For parallel
   /// contexts this is the critical-path view: each kernel contributes the
@@ -111,7 +155,7 @@ class SerialContext final : public ExecContext {
                 const BodyFn& body) override;
 
   void sequential(perf::Category cat, const CostFn& cost,
-                  const std::function<void()>& body) override;
+                  const SectionFn& body) override;
 
   const perf::Profile& profile() const override { return profile_; }
 

@@ -63,7 +63,7 @@ void TeamContext::parallel(perf::Category cat, Index n, const CostFn& cost,
 }
 
 void TeamContext::sequential(perf::Category cat, const CostFn& cost,
-                             const std::function<void()>& body) {
+                             const SectionFn& body) {
   (void)cost;
   PHMSE_ASSERT(std::this_thread::get_id() == owner_);
   Stopwatch sw;

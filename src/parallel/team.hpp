@@ -33,7 +33,7 @@ class TeamContext final : public ExecContext {
                 const BodyFn& body) override;
 
   void sequential(perf::Category cat, const CostFn& cost,
-                  const std::function<void()>& body) override;
+                  const SectionFn& body) override;
 
   const perf::Profile& profile() const override { return profile_; }
 

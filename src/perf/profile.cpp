@@ -18,6 +18,14 @@ Profile& Profile::operator+=(const Profile& other) {
   return *this;
 }
 
+Profile Profile::minus(const Profile& other) const {
+  Profile out;
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    out.times_[i] = std::max(0.0, times_[i] - other.times_[i]);
+  }
+  return out;
+}
+
 void Profile::max_with(const Profile& other) {
   for (std::size_t i = 0; i < kNumCategories; ++i) {
     times_[i] = std::max(times_[i], other.times_[i]);

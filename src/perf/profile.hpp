@@ -34,6 +34,10 @@ class Profile {
   /// Element-wise max; used to report the critical-path view of a team.
   void max_with(const Profile& other);
 
+  /// Element-wise difference clamped at zero; used to report what one solve
+  /// added to a context whose profile accumulates across solves.
+  Profile minus(const Profile& other) const;
+
   void clear() { times_.fill(0.0); }
 
   /// One-line summary "d-s=... chol=... ..." for logs.

@@ -104,7 +104,7 @@ void SimContext::parallel(perf::Category cat, Index n, const par::CostFn& cost,
 }
 
 void SimContext::sequential(perf::Category cat, const par::CostFn& cost,
-                            const std::function<void()>& body) {
+                            const par::SectionFn& body) {
   const auto& cfg = machine_.config();
   const par::KernelStats stats = cost(0, 1);
   const double dt = chunk_time(cfg, stats, team_clusters_, cfg.processors);

@@ -70,7 +70,7 @@ class SimContext final : public par::ExecContext {
                 const par::BodyFn& body) override;
 
   void sequential(perf::Category cat, const par::CostFn& cost,
-                  const std::function<void()>& body) override;
+                  const par::SectionFn& body) override;
 
   /// Critical-path profile of this context's team (every member advanced
   /// identically; this is lane 0's view).

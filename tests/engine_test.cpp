@@ -1,0 +1,242 @@
+// The phmse::Engine facade: compile-once / solve-many.  These tests pin
+// the facade to the legacy one-shot entry points (a compiled plan must
+// produce bitwise the numbers solve_hierarchical{,_sim} produce) and
+// exercise the plan-reuse surface: repeated solves, rescheduling,
+// observation rebinding, compile timings, and the describe() dump.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "constraints/helix_gen.hpp"
+#include "core/assign.hpp"
+#include "core/hier_solver.hpp"
+#include "core/schedule.hpp"
+#include "core/work_model.hpp"
+#include "engine/engine.hpp"
+#include "molecule/rna_helix.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::engine {
+namespace {
+
+struct Fixture {
+  mol::HelixModel model = mol::build_helix(2);
+  cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  linalg::Vector initial;
+
+  Fixture() {
+    Rng rng(42);
+    initial = model.topology.true_state();
+    for (auto& v : initial) v += rng.gaussian(0.0, 0.3);
+  }
+
+  Problem problem() const {
+    return Problem::custom(model.topology.size(), set, [model = model] {
+      return core::build_helix_hierarchy(model);
+    });
+  }
+
+  static CompileOptions options(int cycles = 3, int processors = 1) {
+    CompileOptions o;
+    o.solve.max_cycles = cycles;
+    o.solve.prior_sigma = 0.5;
+    o.processors = processors;
+    return o;
+  }
+};
+
+TEST(Engine, CompileProducesAUsablePlan) {
+  Fixture f;
+  Plan plan = Engine::compile(f.problem(), Fixture::options());
+  EXPECT_EQ(plan.processors(), 1);
+  EXPECT_EQ(plan.options().max_cycles, 3);
+  EXPECT_GT(plan.hierarchy().num_nodes(), 1);
+
+  const Result res = plan.solve(f.initial);
+  EXPECT_EQ(res.cycles, 3);
+  EXPECT_GT(res.seconds, 0.0);
+  EXPECT_EQ(res.vtime, 0.0);
+  EXPECT_LT(f.model.topology.rmsd_to_truth(res.posterior().x),
+            f.model.topology.rmsd_to_truth(f.initial));
+}
+
+TEST(Engine, SerialSolveIsBitwiseTheLegacySolver) {
+  Fixture f;
+  const CompileOptions opts = Fixture::options();
+  Plan plan = Engine::compile(f.problem(), opts);
+  const Result res = plan.solve(f.initial);
+
+  core::Hierarchy h = core::build_helix_hierarchy(f.model);
+  core::assign_constraints(h, f.set);
+  core::estimate_work(h, core::WorkModel{}, opts.solve.batch_size);
+  core::assign_processors(h, 1);
+  par::SerialContext ctx;
+  const core::HierSolveResult legacy =
+      core::solve_hierarchical(ctx, h, f.initial, opts.solve);
+
+  ASSERT_EQ(res.posterior().x.size(), legacy.state.x.size());
+  for (std::size_t i = 0; i < legacy.state.x.size(); ++i) {
+    EXPECT_EQ(res.posterior().x[i], legacy.state.x[i]) << "coord " << i;
+  }
+  EXPECT_EQ(res.cycles, legacy.cycles);
+  EXPECT_EQ(res.last_cycle_delta, legacy.last_cycle_delta);
+  EXPECT_EQ(res.converged, legacy.converged);
+  EXPECT_EQ(res.posterior().c.frobenius_distance(legacy.state.c), 0.0);
+}
+
+TEST(Engine, SimulatedSolveIsBitwiseTheLegacySimSolver) {
+  Fixture f;
+  const CompileOptions opts = Fixture::options(2, 4);
+  Plan plan = Engine::compile(f.problem(), opts);
+  simarch::SimMachine machine(simarch::generic(8));
+  const Result res = plan.solve(machine, f.initial);
+  EXPECT_GT(res.vtime, 0.0);
+
+  core::Hierarchy h = core::build_helix_hierarchy(f.model);
+  core::assign_constraints(h, f.set);
+  core::estimate_work(h, core::WorkModel{}, opts.solve.batch_size);
+  core::assign_processors(h, 4);
+  simarch::SimMachine machine2(simarch::generic(8));
+  const core::SimSolveResult legacy =
+      core::solve_hierarchical_sim(h, f.initial, opts.solve, machine2);
+
+  EXPECT_EQ(res.vtime, legacy.vtime);
+  for (std::size_t i = 0; i < legacy.result.state.x.size(); ++i) {
+    EXPECT_EQ(res.posterior().x[i], legacy.result.state.x[i]);
+  }
+}
+
+TEST(Engine, RepeatedSolvesAreBitwiseIdentical) {
+  Fixture f;
+  Plan plan = Engine::compile(f.problem(), Fixture::options());
+  const Result first = plan.solve(f.initial);
+  const linalg::Vector x1 = first.posterior().x;
+  const linalg::Matrix c1 = first.posterior().c;
+
+  const Result second = plan.solve(f.initial);
+  ASSERT_EQ(second.posterior().x.size(), x1.size());
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_EQ(second.posterior().x[i], x1[i]) << "coord " << i;
+  }
+  EXPECT_EQ(second.posterior().c.frobenius_distance(c1), 0.0);
+  EXPECT_EQ(second.cycles, first.cycles);
+  EXPECT_EQ(second.last_cycle_delta, first.last_cycle_delta);
+}
+
+TEST(Engine, RescheduleKeepsSerialNumbersAndChangesThePlan) {
+  // The §4.3 schedule moves work between processors; it must not change
+  // the arithmetic of a serial execution of the same plan.
+  Fixture f;
+  Plan plan = Engine::compile(f.problem(), Fixture::options());
+  const linalg::Vector before = plan.solve(f.initial).posterior().x;
+
+  plan.reschedule(4);
+  EXPECT_EQ(plan.processors(), 4);
+  const linalg::Vector after = plan.solve(f.initial).posterior().x;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i], before[i]);
+  }
+  EXPECT_THROW(plan.reschedule(0), phmse::Error);
+}
+
+TEST(Engine, SetObservationsRebindsAndRestores) {
+  Fixture f;
+  Plan plan = Engine::compile(f.problem(), Fixture::options());
+  const linalg::Vector baseline = plan.solve(f.initial).posterior().x;
+
+  std::vector<double> original;
+  std::vector<double> nudged;
+  original.reserve(static_cast<std::size_t>(f.set.size()));
+  for (Index i = 0; i < f.set.size(); ++i) {
+    original.push_back(f.set[i].observed);
+    nudged.push_back(f.set[i].observed + 0.05);
+  }
+
+  plan.set_observations(nudged);
+  const linalg::Vector shifted = plan.solve(f.initial).posterior().x;
+  double diff = 0.0;
+  for (std::size_t i = 0; i < shifted.size(); ++i) {
+    diff = std::max(diff, std::abs(shifted[i] - baseline[i]));
+  }
+  EXPECT_GT(diff, 1e-9);  // the new data genuinely flowed through
+
+  plan.set_observations(original);
+  const linalg::Vector restored = plan.solve(f.initial).posterior().x;
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    EXPECT_EQ(restored[i], baseline[i]);
+  }
+
+  const std::vector<double> wrong_size(3, 0.0);
+  EXPECT_THROW(plan.set_observations(wrong_size), phmse::Error);
+}
+
+TEST(Engine, FlatAndBisectionFactoriesCompile) {
+  Fixture f;
+  const Index atoms = f.model.topology.size();
+
+  Plan flat = Engine::compile(Problem::flat(atoms, f.set),
+                              Fixture::options());
+  EXPECT_EQ(flat.hierarchy().num_nodes(), 1);
+  EXPECT_TRUE(flat.solve(f.initial).posterior().x.size() ==
+              f.initial.size());
+
+  Plan bis = Engine::compile(Problem::bisection(atoms, f.set, 8),
+                             Fixture::options());
+  EXPECT_GT(bis.hierarchy().num_nodes(), 1);
+  const Result res = bis.solve(f.initial);
+  EXPECT_LT(f.model.topology.rmsd_to_truth(res.posterior().x),
+            f.model.topology.rmsd_to_truth(f.initial));
+}
+
+TEST(Engine, CompileValidatesTheDecomposition) {
+  Fixture f;
+  // A recipe that covers the wrong atom range must be rejected.
+  Problem bad = Problem::custom(f.model.topology.size() + 5, f.set,
+                                [&f] { return core::build_helix_hierarchy(
+                                           f.model); });
+  EXPECT_THROW(Engine::compile(bad), phmse::Error);
+
+  Problem empty;
+  EXPECT_THROW(Engine::compile(empty), phmse::Error);
+}
+
+TEST(Engine, CompileTimingsArePhased) {
+  Fixture f;
+  Plan plan = Engine::compile(f.problem(), Fixture::options());
+  const CompileTimings& t = plan.timings();
+  EXPECT_GT(t.total_seconds, 0.0);
+  EXPECT_EQ(t.calibrate_seconds, 0.0);  // not requested
+  EXPECT_LE(t.decompose_seconds + t.assign_seconds + t.schedule_seconds +
+                t.workspace_seconds,
+            t.total_seconds * 1.5 + 1e-6);
+}
+
+TEST(Engine, CalibratedWorkModelIsUsable) {
+  Fixture f;
+  CompileOptions opts = Fixture::options(1, 4);
+  opts.calibrate_work_model = true;
+  Plan plan = Engine::compile(f.problem(), opts);
+  EXPECT_GT(plan.timings().calibrate_seconds, 0.0);
+  // The fitted Eq.-1 model must predict positive, growing cost.
+  const core::WorkModel& wm = plan.work_model();
+  EXPECT_GT(wm.per_constraint(24, 16), 0.0);
+  EXPECT_GE(wm.per_constraint(240, 16), wm.per_constraint(24, 16));
+  // And the plan built on it still solves.
+  EXPECT_EQ(plan.solve(f.initial).cycles, 1);
+}
+
+TEST(Engine, DescribeMentionsTheScheduleAndCounts) {
+  Fixture f;
+  Plan plan = Engine::compile(f.problem(), Fixture::options(1, 4));
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("P=4"), std::string::npos);
+  EXPECT_NE(text.find("nodes"), std::string::npos);
+}
+
+TEST(Engine, EmptyResultThrowsOnPosterior) {
+  Result r;
+  EXPECT_THROW(r.posterior(), phmse::Error);
+}
+
+}  // namespace
+}  // namespace phmse::engine

@@ -9,9 +9,15 @@
 // exactly the ones that are zero in the flat run.
 #include <gtest/gtest.h>
 
+#include "constraints/helix_gen.hpp"
 #include "core/assign.hpp"
 #include "core/hier_solver.hpp"
+#include "core/schedule.hpp"
+#include "core/work_model.hpp"
+#include "engine/engine.hpp"
 #include "estimation/update.hpp"
+#include "molecule/rna_helix.hpp"
+#include "parallel/thread_pool.hpp"
 #include "support/rng.hpp"
 
 namespace phmse::core {
@@ -245,6 +251,56 @@ TEST(LinearEquivalence, DifferentOrderDivergesForNonlinearData) {
   // ...to answers within the prior's reach of each other (the chain has
   // unanchored gauge freedom, so order changes shift the pose noticeably).
   EXPECT_LT(max_diff, 1.0);
+}
+
+TEST(PlanEquivalence, RepeatedAndThreadedSolvesMatchAFreshRunBitwise) {
+  // The plan/execute split must be invisible in the numbers: one compiled
+  // plan solved twice (buffers warm the second time), the same plan solved
+  // on real threads, and a fresh end-to-end solve_hierarchical run all
+  // produce bitwise identical posteriors.
+  mol::HelixModel model = mol::build_helix(2);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Rng rng(11);
+  linalg::Vector x0 = model.topology.true_state();
+  for (auto& v : x0) v += rng.gaussian(0.0, 0.25);
+
+  HierSolveOptions opts;
+  opts.max_cycles = 3;
+  opts.prior_sigma = 0.5;
+
+  engine::Problem problem = engine::Problem::custom(
+      model.topology.size(), set,
+      [&model] { return build_helix_hierarchy(model); });
+  engine::CompileOptions copts;
+  copts.solve = opts;
+  copts.processors = 4;
+  engine::Plan plan = engine::Engine::compile(problem, copts);
+
+  // Fresh end-to-end run through the legacy one-shot entry point.
+  Hierarchy h = build_helix_hierarchy(model);
+  assign_constraints(h, set);
+  estimate_work(h, WorkModel{}, opts.batch_size);
+  assign_processors(h, 4);
+  par::SerialContext ctx;
+  const HierSolveResult fresh = solve_hierarchical(ctx, h, x0, opts);
+
+  const engine::Result first = plan.solve(x0);
+  EXPECT_EQ(first.posterior().x, fresh.state.x);
+  EXPECT_EQ(first.posterior().c, fresh.state.c);
+
+  const engine::Result second = plan.solve(x0);
+  EXPECT_EQ(second.posterior().x, fresh.state.x);
+  EXPECT_EQ(second.posterior().c, fresh.state.c);
+
+  par::ThreadPool pool(4);
+  const engine::Result threaded = plan.solve(pool, x0);
+  EXPECT_EQ(threaded.posterior().x, fresh.state.x);
+  EXPECT_EQ(threaded.posterior().c, fresh.state.c);
+
+  // And the plan is not poisoned by the threaded pass: serial again.
+  const engine::Result again = plan.solve(x0);
+  EXPECT_EQ(again.posterior().x, fresh.state.x);
+  EXPECT_EQ(again.posterior().c, fresh.state.c);
 }
 
 }  // namespace
