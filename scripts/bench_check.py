@@ -19,6 +19,15 @@ side, are reported but never fail the check.  --report-only prints the
 comparison but always exits 0 (used by the CI smoke job, whose tiny shapes
 are not comparable to the committed full-scale baseline).
 
+--max-robustness-overhead [FRACTION] (default 0.02 when given) adds an
+INTRA-document check: wherever a document contains both a
+plan_solve_steady and a plan_solve_policy row for the same configuration,
+the policy row must not exceed the steady row by more than the fraction
+(DESIGN.md §9 — the always-on validation/report path must stay < 2%).
+Both rows come from the same interleaved run on the same machine, so
+unlike the cross-run baseline comparison this check is meaningful at any
+scale and is NOT silenced by --report-only.
+
 Exit status: 0 ok / report-only, 1 regression found, 2 invalid input.
 """
 
@@ -37,6 +46,10 @@ KNOWN_KERNELS = {
     # plan/execute split (Engine::compile vs steady-state plan.solve()).
     "plan_compile",
     "plan_solve_steady",
+    # Same steady-state solve under the heaviest degradation policy
+    # (retry + gating); plan_solve_policy / plan_solve_steady is the
+    # robustness overhead gated by --max-robustness-overhead.
+    "plan_solve_policy",
 }
 KNOWN_IMPLS = {"blocked", "ref", "engine"}
 
@@ -111,6 +124,39 @@ def key(rec):
     return (rec["kernel"], rec["impl"], rec["m"], rec["n"], rec["threads"])
 
 
+def check_robustness_overhead(doc, path, max_overhead):
+    """Intra-document plan_solve_policy vs plan_solve_steady gate.
+
+    Returns the number of violations.  The two rows are produced by the
+    same interleaved run (bench/solve_regress), so their ratio is a
+    machine-independent overhead measurement.
+    """
+    def config(rec):
+        return (rec["impl"], rec["m"], rec["n"], rec["threads"])
+
+    steady = {config(r): r for r in doc["results"]
+              if r["kernel"] == "plan_solve_steady"}
+    policy = {config(r): r for r in doc["results"]
+              if r["kernel"] == "plan_solve_policy"}
+    violations = 0
+    checked = 0
+    for cfg in sorted(steady.keys() & policy.keys()):
+        checked += 1
+        overhead = policy[cfg]["seconds"] / steady[cfg]["seconds"] - 1.0
+        tag = "{} m={} n={} t={}".format(*cfg)
+        if overhead > max_overhead:
+            violations += 1
+            verdict = "REGRESS"
+        else:
+            verdict = "ok"
+        print("  {:8s} robustness overhead {} {:+.2f}% (limit {:+.2f}%)"
+              .format(verdict, tag, 100.0 * overhead, 100.0 * max_overhead))
+    if not checked:
+        print(f"bench_check: note: {path} has no steady/policy row pair; "
+              "robustness overhead not checked")
+    return violations
+
+
 def compare(baseline, current, tolerance):
     """Returns (lines, regression_count) for the matched configurations."""
     base = {key(r): r for r in baseline["results"]}
@@ -154,11 +200,27 @@ def main():
                     help="allowed slowdown fraction (default 0.25)")
     ap.add_argument("--report-only", action="store_true",
                     help="print the comparison but always exit 0")
+    ap.add_argument("--max-robustness-overhead", metavar="FRACTION",
+                    type=float, nargs="?", const=0.02, default=None,
+                    help="fail if plan_solve_policy exceeds plan_solve_steady "
+                         "by more than FRACTION within a document "
+                         "(default 0.02 when the flag is given); "
+                         "not silenced by --report-only")
     args = ap.parse_args()
 
+    if args.max_robustness_overhead is not None \
+            and args.max_robustness_overhead < 0:
+        ap.error("--max-robustness-overhead must be >= 0")
+
     if args.validate:
-        load(args.validate)
+        doc = load(args.validate)
         print(f"bench_check: {args.validate}: valid {SCHEMA}")
+        if args.max_robustness_overhead is not None:
+            bad = check_robustness_overhead(doc, args.validate,
+                                            args.max_robustness_overhead)
+            if bad:
+                print(f"bench_check: {bad} robustness overhead violation(s)")
+                return 1
         return 0
 
     if not args.baseline or not args.current:
@@ -180,11 +242,24 @@ def main():
           f"(tolerance {args.tolerance:.0%}):")
     for line in lines:
         print(line)
+
+    overhead_violations = 0
+    if args.max_robustness_overhead is not None:
+        overhead_violations = check_robustness_overhead(
+            current, args.current, args.max_robustness_overhead)
+        if overhead_violations:
+            print(f"bench_check: {overhead_violations} robustness overhead "
+                  "violation(s)")
+
     if regressions:
         print(f"bench_check: {regressions} configuration(s) regressed")
-        return 0 if args.report_only else 1
-    print("bench_check: no regressions")
-    return 0
+        if not args.report_only:
+            return 1
+    else:
+        print("bench_check: no regressions")
+    # Intra-document: both rows come from the same run, so --report-only's
+    # cross-machine rationale does not apply.
+    return 1 if overhead_violations else 0
 
 
 if __name__ == "__main__":

@@ -100,8 +100,8 @@ double eval_position(const Vec3& a, int axis, Gradient* grad) {
   return axis == 0 ? a.x : axis == 1 ? a.y : a.z;
 }
 
-double eval(const Constraint& c, const std::array<Vec3, 4>& pos,
-            Gradient* grad) {
+double eval_dispatch(const Constraint& c, const std::array<Vec3, 4>& pos,
+                     Gradient* grad) {
   switch (c.kind) {
     case Kind::kDistance:
       return eval_distance(pos[0], pos[1], grad);
@@ -114,6 +114,30 @@ double eval(const Constraint& c, const std::array<Vec3, 4>& pos,
   }
   PHMSE_CHECK(false, "unknown constraint kind");
   return 0.0;
+}
+
+double eval(const Constraint& c, const std::array<Vec3, 4>& pos,
+            Gradient* grad) {
+  const double value = eval_dispatch(c, pos, grad);
+  // The per-kind evaluators guard coincident / collinear geometry (zero
+  // gradient, value 0), but non-finite positions sail past those guards —
+  // NaN fails every `< kDegenerate` test — and would otherwise leak NaN
+  // into the residual AND its gradient.  Extend the same convention to any
+  // non-finite evaluation: zero gradient, finite value.  Note this makes
+  // the *function* total; a poisoned state is still reported, because
+  // BatchUpdater::linearize checks the positions themselves for finiteness.
+  if (!std::isfinite(value)) {
+    if (grad != nullptr) *grad = Gradient{};
+    return 0.0;
+  }
+  if (grad != nullptr) {
+    for (Vec3& g : grad->d) {
+      if (!(std::isfinite(g.x) && std::isfinite(g.y) && std::isfinite(g.z))) {
+        g = Vec3{};
+      }
+    }
+  }
+  return value;
 }
 
 }  // namespace

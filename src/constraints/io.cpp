@@ -1,5 +1,6 @@
 #include "constraints/io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -103,12 +104,27 @@ ConstraintSet read_constraints(std::istream& is, Index num_atoms) {
     }
     if (c.kind == Kind::kPosition) c.axis = parse_axis(tok[t++], line_no);
     c.observed = parse_num(tok[t++], line_no, "observed value");
+    // std::stod happily parses "nan" and "inf"; an observation that is not a
+    // finite number can never be satisfied and would poison the solve, so
+    // reject it here with the line number rather than mid-update.
+    if (!std::isfinite(c.observed)) {
+      fail(line_no, "observed value must be finite");
+    }
     const double sigma = parse_num(tok[t++], line_no, "sigma");
+    if (!std::isfinite(sigma)) fail(line_no, "sigma must be finite");
     if (sigma <= 0.0) fail(line_no, "sigma must be positive");
     c.variance = sigma * sigma;
+    if (!std::isfinite(c.variance) || c.variance <= 0.0) {
+      fail(line_no, "sigma^2 overflows or underflows a double");
+    }
     if (t < tok.size()) {
-      c.category =
-          static_cast<int>(parse_num(tok[t++], line_no, "category"));
+      // A non-finite or out-of-range value would make the int cast UB
+      // (observed in the wild as category -2147483648).
+      const double cat = parse_num(tok[t++], line_no, "category");
+      if (!(cat >= -2147483648.0 && cat <= 2147483647.0)) {
+        fail(line_no, "category out of range");
+      }
+      c.category = static_cast<int>(cat);
     }
     out.add(c);
   }

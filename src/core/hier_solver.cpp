@@ -8,6 +8,7 @@ namespace {
 
 HierSolveResult to_result(SolvePlan&& plan, const PlanRunStats& stats) {
   HierSolveResult result;
+  result.report = plan.last_report();  // before the state is moved out
   result.state = plan.take_root_state();
   result.cycles = stats.cycles;
   result.last_cycle_delta = stats.last_cycle_delta;

@@ -129,7 +129,7 @@ void SolvePlan::update_node_(par::ExecContext& ctx, NodeWork& w,
     assemble_from_children_(ctx, w);
   }
   w.updater.apply_all(ctx, w.state, node.constraints, options_.batch_size,
-                      options_.symmetrize_every);
+                      options_.symmetrize_every, options_.policy, &w.report);
 }
 
 template <typename PassFn>
@@ -139,6 +139,11 @@ PlanRunStats SolvePlan::run_cycles_(const Vector& initial_x, PassFn&& pass) {
   PHMSE_CHECK(options_.max_cycles >= 1, "need at least one cycle");
   PlanRunStats stats;
   prev_x_ = initial_x;
+  // Per-node tallies and the aggregate report are rebuilt every run; the
+  // clears keep vector capacity, so a clean steady-state run stays
+  // allocation-free.
+  for (NodeWork& w : nodes_) w.report.clear();
+  report_.clear();
   for (int c = 0; c < options_.max_cycles; ++c) {
     pass(static_cast<const Vector&>(prev_x_));
     ++stats.cycles;
@@ -150,6 +155,13 @@ PlanRunStats SolvePlan::run_cycles_(const Vector& initial_x, PassFn&& pass) {
       stats.converged = true;
       break;
     }
+  }
+  // Aggregate after the executor has joined (every pass() above completes
+  // its whole tree before returning), so reading the per-node tallies races
+  // with nothing.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeWork& w = nodes_[i];
+    report_.merge(i, w.node->atom_begin, w.node->atom_end, w.report);
   }
   return stats;
 }

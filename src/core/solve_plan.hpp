@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "core/hierarchy.hpp"
+#include "core/solve_report.hpp"
+#include "estimation/policy.hpp"
 #include "estimation/state.hpp"
 #include "estimation/update.hpp"
 #include "parallel/exec.hpp"
@@ -39,6 +41,10 @@ struct HierSolveOptions {
   /// See est::SolveOptions::prior_sigma.
   double prior_sigma = 1.0;
   Index symmetrize_every = 64;
+  /// Degradation policy for numerically failing batches (DESIGN.md §9).
+  /// The default (abort) throws on the first failure, exactly as solves
+  /// always have.
+  est::SolvePolicy policy;
 };
 
 /// Result: the root posterior plus cycle statistics.
@@ -47,6 +53,8 @@ struct HierSolveResult {
   int cycles = 0;
   double last_cycle_delta = 0.0;
   bool converged = false;
+  /// Per-batch fault-tolerance diagnostics of the solve (all nodes).
+  SolveReport report;
 };
 
 /// Result of a simulated run.
@@ -121,6 +129,12 @@ class SolvePlan {
   /// node teams.
   const perf::Profile& threaded_profile() const { return threaded_profile_; }
 
+  /// Fault-tolerance diagnostics of the most recent run (any executor):
+  /// every node's batch tally aggregated after the executor has joined.
+  /// With the default abort policy a completed run is always clean() — a
+  /// failing batch would have thrown instead.
+  const SolveReport& last_report() const { return report_; }
+
   const HierSolveOptions& options() const { return options_; }
   Hierarchy& hierarchy() { return *hierarchy_; }
   const Hierarchy& hierarchy() const { return *hierarchy_; }
@@ -137,6 +151,10 @@ class SolvePlan {
     std::vector<std::size_t> inline_children;
     std::vector<std::size_t> remote_children;
     perf::Profile profile;
+    /// Batch tally of the current run; only this node's executor lane
+    /// writes it, so no synchronization is needed until the post-join
+    /// aggregation into the plan's SolveReport.
+    est::NodeReport report;
   };
 
   std::size_t build_(HierNode& node);
@@ -153,6 +171,7 @@ class SolvePlan {
   std::vector<NodeWork> nodes_;  // post-order; root last
   linalg::Vector prev_x_;        // previous cycle's root state
   perf::Profile threaded_profile_;
+  SolveReport report_;           // aggregated after every run
 };
 
 }  // namespace phmse::core

@@ -1,0 +1,36 @@
+#include "core/solve_report.hpp"
+
+#include <sstream>
+
+namespace phmse::core {
+
+void SolveReport::merge(std::size_t node, Index atom_begin, Index atom_end,
+                        const est::NodeReport& report) {
+  batches += report.batches;
+  ok += report.ok;
+  retried += report.retried;
+  gated += report.gated;
+  skipped += report.skipped;
+  failed += report.failed;
+  if (report.max_attempts > max_attempts) max_attempts = report.max_attempts;
+  if (report.max_regularization > max_regularization) {
+    max_regularization = report.max_regularization;
+  }
+  for (const est::BatchIncident& inc : report.incidents) {
+    incidents.push_back({node, atom_begin, atom_end, inc.batch, inc.outcome});
+  }
+}
+
+std::string SolveReport::summary() const {
+  std::ostringstream os;
+  os << batches << " batches: " << ok << " ok";
+  if (retried > 0) {
+    os << ", " << retried << " retried (max " << max_attempts << " attempts)";
+  }
+  if (gated > 0) os << ", " << gated << " gated";
+  if (skipped > 0) os << ", " << skipped << " skipped";
+  if (failed > 0) os << ", " << failed << " failed";
+  return os.str();
+}
+
+}  // namespace phmse::core

@@ -1,0 +1,77 @@
+// Solve-wide fault-tolerance diagnostics (DESIGN.md §9).
+//
+// A SolveReport aggregates the per-node est::NodeReport tallies of one plan
+// execution into a single structure the caller can inspect: how many
+// constraint batches ran, how many needed the regularized retry ladder, how
+// many were dropped (gated / skipped / failed), and — for every non-ok batch
+// — which node and batch it was and exactly what happened (attempts made,
+// Tikhonov term used, chi-squared, failing pivot).
+//
+// The report is rebuilt on every run and its vectors keep their capacity
+// across runs, so a clean steady-state solve aggregates into it without
+// heap allocation (tests/alloc_test.cpp covers the whole solve path).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "estimation/policy.hpp"
+#include "support/types.hpp"
+
+namespace phmse::core {
+
+/// One non-ok batch somewhere in the tree: which node (post-order index and
+/// its atom range — stable across executors), which batch, and its outcome.
+struct SolveIncident {
+  /// Post-order index of the node in the compiled plan.
+  std::size_t node = 0;
+  /// The node's atom range (identifies the subtree independent of plan
+  /// internals).
+  Index atom_begin = 0;
+  Index atom_end = 0;
+  /// Batch ordinal within the node's constraint sweep (cycle-local).
+  Index batch = -1;
+  est::BatchOutcome outcome;
+};
+
+/// Aggregated diagnostics of one SolvePlan execution (all nodes, all
+/// cycles).  Counters count batches; `incidents` lists every non-ok batch.
+struct SolveReport {
+  long batches = 0;
+  long ok = 0;
+  long retried = 0;
+  long gated = 0;
+  long skipped = 0;
+  long failed = 0;
+  /// Worst-case factorization attempts over all batches.
+  int max_attempts = 0;
+  /// Largest Tikhonov term any applied batch needed.
+  double max_regularization = 0.0;
+  std::vector<SolveIncident> incidents;
+
+  /// True when every batch applied on its first factorization attempt.
+  bool clean() const { return retried + gated + skipped + failed == 0; }
+
+  /// Batches that updated the state (ok + retried).
+  long applied() const { return ok + retried; }
+
+  /// Batches dropped without touching the state.
+  long dropped() const { return gated + skipped + failed; }
+
+  void clear() {
+    batches = ok = retried = gated = skipped = failed = 0;
+    max_attempts = 0;
+    max_regularization = 0.0;
+    incidents.clear();  // keeps capacity — no alloc on the next clean run
+  }
+
+  /// Folds one node's tally into the solve-wide totals.
+  void merge(std::size_t node, Index atom_begin, Index atom_end,
+             const est::NodeReport& report);
+
+  /// One-line human-readable summary, e.g.
+  /// "512 batches: 509 ok, 2 retried (max 3 attempts), 1 gated".
+  std::string summary() const;
+};
+
+}  // namespace phmse::core

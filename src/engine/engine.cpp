@@ -167,6 +167,10 @@ Result make_result(const core::SolvePlan& plan,
   r.last_cycle_delta = stats.last_cycle_delta;
   r.converged = stats.converged;
   r.seconds = seconds;
+  // Copying the report is cheap on a clean solve: the counters are plain
+  // scalars and the incident vector is empty (a size-0 copy does not
+  // allocate), so the steady-state path stays allocation-free.
+  r.report = plan.last_report();
   return r;
 }
 

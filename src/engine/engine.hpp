@@ -98,6 +98,10 @@ struct Result {
   /// Per-category time of this solve: the executor's own accounting (real
   /// seconds serially/threaded, virtual seconds simulated).
   perf::Profile breakdown;
+  /// Fault-tolerance diagnostics: every batch's outcome under the plan's
+  /// SolvePolicy, aggregated over the tree (DESIGN.md §9).  clean() on any
+  /// completed solve under the default abort policy.
+  core::SolveReport report;
 
   const est::NodeState& posterior() const {
     PHMSE_CHECK(state != nullptr, "result holds no posterior");

@@ -1,0 +1,169 @@
+// Numerical fault-tolerance policy and per-batch diagnostics for the
+// Fig.-1 update (DESIGN.md §9).
+//
+// One degenerate constraint batch — a NaN observation, a non-positive
+// variance, a covariance driven indefinite by round-off — must not abort a
+// production solve mid-update.  SolvePolicy selects what BatchUpdater does
+// instead of throwing; BatchOutcome / NodeReport carry what actually
+// happened back up through SolvePlan into core::SolveReport.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace phmse::est {
+
+/// What BatchUpdater::apply does when a batch fails numerically: non-finite
+/// positions/observations/variances at linearization, or an innovation
+/// covariance S that is not (numerically) positive definite.
+enum class FailAction : int {
+  /// Throw phmse::Error, aborting the solve — the historical behavior and
+  /// the default (a run with this action is bitwise identical to pre-policy
+  /// builds).
+  kAbort = 0,
+  /// Drop the failing batch and continue; the node state is left bitwise
+  /// untouched by the dropped batch.
+  kSkipBatch,
+  /// Re-factor S with escalating Tikhonov regularization (S + lambda I —
+  /// equivalent to inflating the measurement noise R), bounded by
+  /// max_retries; a batch still failing at the top rung is dropped.
+  kRetryRegularized,
+  /// kRetryRegularized plus chi-squared innovation gating: a batch whose
+  /// whitened innovation chi^2 per degree of freedom exceeds
+  /// gate_chi2_per_dof is dropped as an outlier before the state is
+  /// touched.
+  kGateOutliers,
+};
+
+/// Degradation policy for numerical failures during constraint application.
+struct SolvePolicy {
+  FailAction on_failure = FailAction::kAbort;
+
+  /// Maximum regularized re-factorizations after the first failure
+  /// (kRetryRegularized / kGateOutliers).
+  int max_retries = 5;
+
+  /// The first retry adds regularization_init * (trace(S)/m) to diag(S);
+  /// every further rung multiplies the term by regularization_growth.  With
+  /// the defaults the ladder tops out at 100 * trace(S)/m — far above the
+  /// matrix scale, so any finite indefiniteness is eventually absorbed (at
+  /// the price of a nearly information-free update for that batch).
+  double regularization_init = 1e-6;
+  double regularization_growth = 100.0;
+
+  /// kGateOutliers: drop a batch whose whitened innovation chi^2 per degree
+  /// of freedom exceeds this.  A statistically consistent batch sits near
+  /// 1; wildly inconsistent data is orders of magnitude above.
+  double gate_chi2_per_dof = 25.0;
+
+  static SolvePolicy abort() { return {}; }
+  static SolvePolicy skip_batch() {
+    SolvePolicy p;
+    p.on_failure = FailAction::kSkipBatch;
+    return p;
+  }
+  static SolvePolicy retry_regularized() {
+    SolvePolicy p;
+    p.on_failure = FailAction::kRetryRegularized;
+    return p;
+  }
+  static SolvePolicy gate_outliers() {
+    SolvePolicy p;
+    p.on_failure = FailAction::kGateOutliers;
+    return p;
+  }
+};
+
+/// How one constraint batch ended.
+enum class BatchStatus : int {
+  kOk = 0,   ///< applied, first factorization attempt succeeded
+  kRetried,  ///< applied after >= 1 regularized re-factorization
+  kGated,    ///< dropped by the chi-squared innovation gate
+  kSkipped,  ///< dropped: non-finite inputs, or kSkipBatch on a failed factor
+  kFailed,   ///< dropped: factorization still failing after the retry ladder
+};
+
+const char* to_string(BatchStatus status);
+
+/// Diagnostics of one BatchUpdater::apply call.
+struct BatchOutcome {
+  BatchStatus status = BatchStatus::kOk;
+  /// Factorization attempts made (1 = first try succeeded; 0 = the batch
+  /// never reached the factorization, e.g. rejected by validation).
+  int attempts = 1;
+  /// Tikhonov term added to diag(S) on the successful attempt (absolute).
+  double regularization = 0.0;
+  /// Whitened innovation chi^2 per degree of freedom (0 when the batch
+  /// never reached the gate computation).
+  double chi2_per_dof = 0.0;
+  /// Failing pivot index of the last failed factorization, -1 if none.
+  Index failed_pivot = -1;
+
+  /// True when the batch updated the state (kOk or kRetried).
+  bool applied() const {
+    return status == BatchStatus::kOk || status == BatchStatus::kRetried;
+  }
+};
+
+/// One non-ok batch, as recorded by apply_all into a NodeReport.
+struct BatchIncident {
+  /// Batch ordinal within the node's constraint sweep (cycle-local).
+  Index batch = -1;
+  BatchOutcome outcome;
+};
+
+/// Per-node tally of apply_all: counters over every batch plus the
+/// individual non-ok incidents.  clear() keeps the incident capacity, so a
+/// clean steady-state solve records into it without allocating.
+struct NodeReport {
+  long batches = 0;
+  long ok = 0;
+  long retried = 0;
+  long gated = 0;
+  long skipped = 0;
+  long failed = 0;
+  int max_attempts = 0;
+  double max_regularization = 0.0;
+  std::vector<BatchIncident> incidents;
+
+  bool clean() const { return retried + gated + skipped + failed == 0; }
+
+  void clear() {
+    batches = ok = retried = gated = skipped = failed = 0;
+    max_attempts = 0;
+    max_regularization = 0.0;
+    incidents.clear();
+  }
+
+  void record(Index batch_index, const BatchOutcome& out) {
+    ++batches;
+    switch (out.status) {
+      case BatchStatus::kOk: ++ok; break;
+      case BatchStatus::kRetried: ++retried; break;
+      case BatchStatus::kGated: ++gated; break;
+      case BatchStatus::kSkipped: ++skipped; break;
+      case BatchStatus::kFailed: ++failed; break;
+    }
+    if (out.attempts > max_attempts) max_attempts = out.attempts;
+    if (out.regularization > max_regularization) {
+      max_regularization = out.regularization;
+    }
+    if (out.status != BatchStatus::kOk) {
+      incidents.push_back({batch_index, out});
+    }
+  }
+};
+
+inline const char* to_string(BatchStatus status) {
+  switch (status) {
+    case BatchStatus::kOk: return "ok";
+    case BatchStatus::kRetried: return "retried";
+    case BatchStatus::kGated: return "gated";
+    case BatchStatus::kSkipped: return "skipped";
+    case BatchStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace phmse::est

@@ -1,5 +1,8 @@
 #include "estimation/update.hpp"
 
+#include <cmath>
+
+#include "estimation/fault_injection.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/kernels.hpp"
@@ -15,6 +18,7 @@ void BatchUpdater::linearize(par::ExecContext& ctx, const NodeState& state,
   const Index m = static_cast<Index>(batch.size());
   residual_.resize(static_cast<std::size_t>(m));
   rdiag_.resize(static_cast<std::size_t>(m));
+  positions_finite_ = true;
 
   // Jacobian assembly is sequential (CSR rows build in order), but it is
   // O(m) work per batch — the paper leaves it outside the six categories.
@@ -27,6 +31,7 @@ void BatchUpdater::linearize(par::ExecContext& ctx, const NodeState& state,
   ctx.sequential(perf::Category::kOther, cost, [&] {
     CsrBuilder& builder = builder_;
     builder.reset(state.dim());
+    bool finite = true;
     for (Index j = 0; j < m; ++j) {
       const Constraint& c = batch[static_cast<std::size_t>(j)];
       const Index na = cons::arity(c.kind);
@@ -38,7 +43,10 @@ void BatchUpdater::linearize(par::ExecContext& ctx, const NodeState& state,
         // NDEBUG and would turn a bad batch into an out-of-bounds read.
         PHMSE_CHECK(atom >= state.atom_begin && atom < state.atom_end,
                     "constraint atom outside the node's state range");
-        pos[static_cast<std::size_t>(k)] = state.position(atom);
+        const mol::Vec3 p = state.position(atom);
+        finite = finite && std::isfinite(p.x) && std::isfinite(p.y) &&
+                 std::isfinite(p.z);
+        pos[static_cast<std::size_t>(k)] = p;
       }
       cons::Gradient grad;
       const double predicted = cons::evaluate_with_gradient(c, pos, grad);
@@ -55,25 +63,102 @@ void BatchUpdater::linearize(par::ExecContext& ctx, const NodeState& state,
         if (g.z != 0.0) builder.add(col + 2, g.z);
       }
     }
+    positions_finite_ = finite;
     builder.finish_into(h_);
   });
 }
 
-void BatchUpdater::apply(par::ExecContext& ctx, NodeState& state,
-                         std::span<const cons::Constraint> batch) {
-  if (batch.empty()) return;
+bool BatchUpdater::batch_inputs_valid_() const {
+  if (!positions_finite_) return false;
+  for (std::size_t j = 0; j < residual_.size(); ++j) {
+    if (!std::isfinite(residual_[j])) return false;
+    const double r = rdiag_[j];
+    if (!(r > 0.0) || !std::isfinite(r)) return false;
+  }
+  return true;
+}
+
+BatchOutcome BatchUpdater::apply(par::ExecContext& ctx, NodeState& state,
+                                 std::span<const cons::Constraint> batch,
+                                 const SolvePolicy& policy,
+                                 Index batch_index) {
+  BatchOutcome out;
+  if (batch.empty()) return out;
   const Index n = state.dim();
+  const Index m = static_cast<Index>(batch.size());
+  const bool can_retry =
+      policy.on_failure == FailAction::kRetryRegularized ||
+      policy.on_failure == FailAction::kGateOutliers;
+
+  fault::maybe_poison_state(state, batch_index);
 
   linearize(ctx, state, batch);
 
+  fault::maybe_corrupt_observation(state, batch_index, residual_);
+
+  // Pre-update validation: non-finite positions, observations or residuals
+  // (and non-positive variances) can only produce garbage downstream.  The
+  // check is O(m) against the update's O(m n^2) — noise.
+  if (!batch_inputs_valid_()) {
+    PHMSE_CHECK(policy.on_failure != FailAction::kAbort,
+                "batch update: non-finite constraint inputs "
+                "(observation, variance, or linearization point)");
+    out.status = BatchStatus::kSkipped;
+    out.attempts = 0;
+    return out;
+  }
+
   linalg::sparse_dense(ctx, h_, state.c, g_);             // G = H C       d-s
-  linalg::innovation_covariance(ctx, g_, h_, rdiag_, s_); // S = G H^T + R m-m
-  linalg::cholesky(ctx, s_);                              // S = L L^T    chol
-  linalg::trsm_lower(ctx, s_, g_);                        // W = L^-1 G    sys
+
+  // Factor S = L L^T under the policy's retry ladder.  The first attempt
+  // factors S exactly as the historical code path; a retry re-assembles S
+  // from the untouched G, H and R (the factorization is destructive) and
+  // adds the rung's Tikhonov term lambda I before factoring again.  The
+  // state is not written anywhere in this loop, so a batch that exhausts
+  // the ladder is dropped with the state bitwise intact.
+  double lambda = 0.0;
+  double scale = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    linalg::innovation_covariance(ctx, g_, h_, rdiag_, s_);  // S = G H^T + R
+    fault::maybe_force_non_spd(state, batch_index, s_);
+    if (lambda > 0.0) {
+      for (Index i = 0; i < m; ++i) s_(i, i) += lambda;
+    }
+    const linalg::CholeskyResult chol =
+        linalg::cholesky_factor(ctx, s_);                    // S = L L^T chol
+    out.attempts = attempt + 1;
+    if (chol.ok()) break;
+    out.failed_pivot = chol.failed_pivot;
+    PHMSE_CHECK(policy.on_failure != FailAction::kAbort,
+                "cholesky: matrix is not positive definite");
+    if (!can_retry || attempt >= policy.max_retries) {
+      out.status = can_retry ? BatchStatus::kFailed : BatchStatus::kSkipped;
+      out.regularization = lambda;
+      return out;
+    }
+    if (scale == 0.0) {
+      // Ladder scale: the mean |diagonal| of S as just assembled, computed
+      // once on the first failure so every rung grows from the same base
+      // and the ladder stays deterministic.
+      double trace = 0.0;
+      for (Index i = 0; i < m; ++i) trace += std::abs(s_(i, i));
+      scale = std::max(trace / static_cast<double>(m), 1e-300);
+    }
+    lambda = lambda == 0.0 ? policy.regularization_init * scale
+                           : lambda * policy.regularization_growth;
+  }
+  out.regularization = lambda;
+  if (out.attempts > 1) out.status = BatchStatus::kRetried;
+
   // With W = L^{-1} H C- the remaining steps become symmetric by
   // construction:
   //   K (z - h) = (H C-)^T S^{-1} r = W^T (L^{-1} r)        and
   //   C+ = C- - K H C- = C- - (HC)^T S^{-1} (HC) = C- - W^T W.
+  //
+  // The whitened residual w = L^{-1} r comes first (it is independent of
+  // the m x n gain solve), because w^T w is the batch's innovation
+  // chi-squared — the gate can drop an outlier batch before the expensive
+  // solve runs.
   w_ = residual_;  // member scratch: no per-batch allocation past warm-up
   ctx.sequential(
       perf::Category::kSystemSolve,
@@ -85,10 +170,22 @@ void BatchUpdater::apply(par::ExecContext& ctx, NodeState& state,
         return st;
       },
       [&] { linalg::trsv_lower(s_, w_); });          // w = L^-1 r        sys
+  out.chi2_per_dof =
+      linalg::dot(w_.data(), w_.data(), m) / static_cast<double>(m);
+  if (policy.on_failure == FailAction::kGateOutliers &&
+      out.chi2_per_dof > policy.gate_chi2_per_dof) {
+    out.status = BatchStatus::kGated;
+    return out;
+  }
+
+  // Commit: every fallible step is behind us, so from here the batch either
+  // applies completely or (on a crash) not at all — no half-mutated state.
+  linalg::trsm_lower(ctx, s_, g_);                   // W = L^-1 G        sys
   dx_.assign(static_cast<std::size_t>(n), 0.0);
   linalg::gain_times_residual(ctx, g_, w_, dx_);     // dx = W^T w        m-v
   linalg::vec_add_inplace(ctx, dx_, state.x);        // x += dx           vec
   linalg::covariance_downdate(ctx, g_, g_, state.c); // C -= W^T W        m-v
+  return out;
 }
 
 void BatchUpdater::reserve(Index max_m, Index n) {
@@ -106,15 +203,19 @@ void BatchUpdater::reserve(Index max_m, Index n) {
 
 void BatchUpdater::apply_all(par::ExecContext& ctx, NodeState& state,
                              const cons::ConstraintSet& set, Index batch_size,
-                             Index symmetrize_every) {
+                             Index symmetrize_every, const SolvePolicy& policy,
+                             NodeReport* report) {
   PHMSE_CHECK(batch_size >= 1, "batch size must be >= 1");
   const auto& all = set.all();
   Index applied_batches = 0;
   for (Index start = 0; start < set.size(); start += batch_size) {
     const Index len = std::min(batch_size, set.size() - start);
-    apply(ctx, state,
-          std::span<const cons::Constraint>(all.data() + start,
-                                            static_cast<std::size_t>(len)));
+    const BatchOutcome out =
+        apply(ctx, state,
+              std::span<const cons::Constraint>(all.data() + start,
+                                                static_cast<std::size_t>(len)),
+              policy, applied_batches);
+    if (report != nullptr) report->record(applied_batches, out);
     ++applied_batches;
     if (symmetrize_every > 0 && applied_batches % symmetrize_every == 0) {
       linalg::symmetrize(ctx, state.c);

@@ -17,6 +17,7 @@
 #include <span>
 
 #include "constraints/set.hpp"
+#include "estimation/policy.hpp"
 #include "estimation/state.hpp"
 #include "linalg/csr.hpp"
 #include "parallel/exec.hpp"
@@ -31,15 +32,28 @@ class BatchUpdater {
   /// Applies one batch of scalar constraints to `state`.  All constraint
   /// atoms must lie inside the state's atom range.  Execution (serial,
   /// threaded, or simulated) is directed by `ctx`.
-  void apply(par::ExecContext& ctx, NodeState& state,
-             std::span<const cons::Constraint> batch);
+  ///
+  /// Transactional (DESIGN.md §9): every fallible step — input validation,
+  /// the S = L L^T factorization and its retry ladder, the innovation gate
+  /// — runs before `state` is touched, and x/C are only written once all of
+  /// them have succeeded.  A batch that is rejected, under any policy,
+  /// therefore leaves the state bitwise identical to its pre-batch value.
+  /// With the default (abort) policy a failure throws phmse::Error exactly
+  /// as it always has.  `batch_index` identifies the batch within a sweep
+  /// for diagnostics and the fault-injection seam (-1 = standalone call).
+  BatchOutcome apply(par::ExecContext& ctx, NodeState& state,
+                     std::span<const cons::Constraint> batch,
+                     const SolvePolicy& policy = {}, Index batch_index = -1);
 
   /// Applies an entire set in consecutive batches of `batch_size` (the last
   /// batch may be smaller).  Symmetrizes the covariance every
   /// `symmetrize_every` batches (0 disables) to contain round-off drift.
+  /// Failed batches are handled per `policy`; when `report` is non-null
+  /// every batch outcome is tallied into it (non-ok outcomes individually).
   void apply_all(par::ExecContext& ctx, NodeState& state,
                  const cons::ConstraintSet& set, Index batch_size,
-                 Index symmetrize_every = 64);
+                 Index symmetrize_every = 64, const SolvePolicy& policy = {},
+                 NodeReport* report = nullptr);
 
   /// Pre-sizes every scratch buffer for batches of up to `max_m` constraints
   /// against an `n`-dimensional state, so that subsequent apply() calls work
@@ -49,10 +63,16 @@ class BatchUpdater {
 
  private:
   /// Evaluates the batch at the current state: fills residual_, rdiag_ and
-  /// the Jacobian.  Charged to the `other` category (the paper's O(m)
-  /// constraint-function evaluation).
+  /// the Jacobian, and records whether every position read was finite.
+  /// Charged to the `other` category (the paper's O(m) constraint-function
+  /// evaluation).
   void linearize(par::ExecContext& ctx, const NodeState& state,
                  std::span<const cons::Constraint> batch);
+
+  /// Pre-update validation: the positions the batch linearized against and
+  /// the observation data (residuals, variances) must all be finite, and
+  /// every variance strictly positive.
+  bool batch_inputs_valid_() const;
 
   linalg::Csr h_;
   linalg::CsrBuilder builder_;  // Jacobian assembly; capacity swaps with h_
@@ -62,6 +82,7 @@ class BatchUpdater {
   linalg::Vector rdiag_;    // noise variances  (m)
   linalg::Vector dx_;       // state correction (n)
   linalg::Vector w_;        // whitened residual L^-1 r (m)
+  bool positions_finite_ = true;  // set by linearize
 };
 
 }  // namespace phmse::est

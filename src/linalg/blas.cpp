@@ -361,12 +361,12 @@ Matrix transpose(const Matrix& a) {
   return t;
 }
 
-void cholesky_serial(Matrix& a) {
+CholeskyResult cholesky_factor_serial(Matrix& a) {
   PHMSE_CHECK(a.rows() == a.cols(), "cholesky: matrix must be square");
   const Index n = a.rows();
   for (Index j = 0; j < n; ++j) {
     double d = a(j, j) - dot(a.row(j).data(), a.row(j).data(), j);
-    PHMSE_CHECK(d > 0.0, "cholesky: matrix is not positive definite");
+    if (!(d > 0.0)) return {j};
     d = std::sqrt(d);
     a(j, j) = d;
     const double inv = 1.0 / d;
@@ -376,6 +376,12 @@ void cholesky_serial(Matrix& a) {
     }
     for (Index k = j + 1; k < n; ++k) a(j, k) = 0.0;
   }
+  return {};
+}
+
+void cholesky_serial(Matrix& a) {
+  const CholeskyResult r = cholesky_factor_serial(a);
+  PHMSE_CHECK(r.ok(), "cholesky: matrix is not positive definite");
 }
 
 void trsv_lower(const Matrix& l, Vector& x) {

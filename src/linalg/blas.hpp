@@ -6,6 +6,7 @@
 #pragma once
 
 #include "linalg/matrix.hpp"
+#include "linalg/status.hpp"
 
 namespace phmse::linalg {
 
@@ -29,7 +30,12 @@ Matrix transpose(const Matrix& a);
 
 /// In-place serial Cholesky factorization A = L L^T of an SPD matrix;
 /// overwrites the lower triangle with L and zeroes the strict upper
-/// triangle.  Throws phmse::Error if A is not positive definite.
+/// triangle.  Returns the failing pivot instead of throwing when A is not
+/// positive definite (A is left partially factored) — see status.hpp.
+[[nodiscard]] CholeskyResult cholesky_factor_serial(Matrix& a);
+
+/// Throwing wrapper over cholesky_factor_serial: throws phmse::Error if A
+/// is not positive definite.
 void cholesky_serial(Matrix& a);
 
 /// Solves L * x = b in place (L lower triangular, unit or not per diag).

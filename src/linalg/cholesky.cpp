@@ -15,11 +15,12 @@ using perf::Category;
 constexpr double kBytes = 8.0;
 
 // Factors the diagonal block [k, k+b) in place, using already-final columns
-// [0, k) of the panel rows.  Sequential.
-void factor_panel(Matrix& a, Index k, Index b) {
+// [0, k) of the panel rows.  Sequential.  Returns the failing pivot index
+// (a non-positive — or NaN — diagonal), or -1 on success.
+Index factor_panel(Matrix& a, Index k, Index b) {
   for (Index j = k; j < k + b; ++j) {
     double d = a(j, j) - dot(a.row(j).data() + k, a.row(j).data() + k, j - k);
-    PHMSE_CHECK(d > 0.0, "cholesky: matrix is not positive definite");
+    if (!(d > 0.0)) return j;
     d = std::sqrt(d);
     a(j, j) = d;
     const double inv = 1.0 / d;
@@ -29,11 +30,13 @@ void factor_panel(Matrix& a, Index k, Index b) {
       a(i, j) = s * inv;
     }
   }
+  return -1;
 }
 
 }  // namespace
 
-void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
+CholeskyResult cholesky_factor(par::ExecContext& ctx, Matrix& a,
+                               Index block_size) {
   PHMSE_CHECK(a.rows() == a.cols(), "cholesky: matrix must be square");
   PHMSE_CHECK(block_size >= 1, "cholesky: block size must be >= 1");
   const Index n = a.rows();
@@ -46,10 +49,13 @@ void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
   Matrix a21t;
   if (n > block_size) a21t.resize_zero(std::min(block_size, n), n);
 
+  Index failed_pivot = -1;
   for (Index k = 0; k < n; k += block_size) {
     const Index b = std::min(block_size, n - k);
 
-    // Panel factorization: sequential dependency chain.
+    // Panel factorization: sequential dependency chain.  A failed pivot is
+    // reported through the captured index (not an exception), so the
+    // executor never unwinds and the caller can retry on a re-formed input.
     ctx.sequential(
         Category::kCholesky,
         [&](Index, Index) {
@@ -59,7 +65,8 @@ void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
           st.bytes_stream = kBytes * bd * static_cast<double>(k + b);
           return st;
         },
-        [&] { factor_panel(a, k, b); });
+        [&] { failed_pivot = factor_panel(a, k, b); });
+    if (failed_pivot >= 0) return {failed_pivot};
 
     const Index rest = n - (k + b);
     if (rest <= 0) continue;
@@ -144,6 +151,12 @@ void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
           for (Index j = i + 1; j < n; ++j) arow[j] = 0.0;
         }
       });
+  return {};
+}
+
+void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
+  const CholeskyResult r = cholesky_factor(ctx, a, block_size);
+  PHMSE_CHECK(r.ok(), "cholesky: matrix is not positive definite");
 }
 
 }  // namespace phmse::linalg

@@ -8,13 +8,21 @@
 #pragma once
 
 #include "linalg/matrix.hpp"
+#include "linalg/status.hpp"
 #include "parallel/exec.hpp"
 
 namespace phmse::linalg {
 
 /// In-place blocked Cholesky A = L L^T; lower triangle receives L, strict
-/// upper triangle is zeroed.  Throws phmse::Error if A is not (numerically)
-/// positive definite.  Category: chol.
+/// upper triangle is zeroed.  Returns the failing pivot instead of throwing
+/// when A is not (numerically) positive definite — see status.hpp; on
+/// failure A is left partially factored and the strict upper triangle is
+/// not zeroed.  Category: chol.
+[[nodiscard]] CholeskyResult cholesky_factor(par::ExecContext& ctx, Matrix& a,
+                                             Index block_size = 48);
+
+/// Throwing wrapper over cholesky_factor: throws phmse::Error if A is not
+/// (numerically) positive definite.  Category: chol.
 void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size = 48);
 
 }  // namespace phmse::linalg

@@ -67,11 +67,12 @@ void trsm_impl(par::ExecContext& ctx, const Matrix& l, Matrix& b) {
 }
 
 // Factors the diagonal block [k, k+b) in place, using already-final columns
-// [0, k) of the panel rows.  Sequential.
-void factor_panel(Matrix& a, Index k, Index b) {
+// [0, k) of the panel rows.  Sequential.  Returns the failing pivot index,
+// or -1 on success (mirrors the production kernel's status contract).
+Index factor_panel(Matrix& a, Index k, Index b) {
   for (Index j = k; j < k + b; ++j) {
     double d = a(j, j) - dot(a.row(j).data() + k, a.row(j).data() + k, j - k);
-    PHMSE_CHECK(d > 0.0, "cholesky: matrix is not positive definite");
+    if (!(d > 0.0)) return j;
     d = std::sqrt(d);
     a(j, j) = d;
     const double inv = 1.0 / d;
@@ -81,6 +82,7 @@ void factor_panel(Matrix& a, Index k, Index b) {
       a(i, j) = s * inv;
     }
   }
+  return -1;
 }
 
 }  // namespace
@@ -156,11 +158,13 @@ void gram(par::ExecContext& ctx, const Matrix& w, Matrix& out) {
   ctx.parallel(Category::kMatMat, n, cost, body);
 }
 
-void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
+CholeskyResult cholesky_factor(par::ExecContext& ctx, Matrix& a,
+                               Index block_size) {
   PHMSE_CHECK(a.rows() == a.cols(), "cholesky: matrix must be square");
   PHMSE_CHECK(block_size >= 1, "cholesky: block size must be >= 1");
   const Index n = a.rows();
 
+  Index failed_pivot = -1;
   for (Index k = 0; k < n; k += block_size) {
     const Index b = std::min(block_size, n - k);
 
@@ -174,7 +178,8 @@ void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
           st.bytes_stream = kBytes * bd * static_cast<double>(k + b);
           return st;
         },
-        [&] { factor_panel(a, k, b); });
+        [&] { failed_pivot = factor_panel(a, k, b); });
+    if (failed_pivot >= 0) return {failed_pivot};
 
     const Index rest = n - (k + b);
     if (rest <= 0) continue;
@@ -244,6 +249,12 @@ void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
           for (Index j = i + 1; j < n; ++j) arow[j] = 0.0;
         }
       });
+  return {};
+}
+
+void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
+  const CholeskyResult r = cholesky_factor(ctx, a, block_size);
+  PHMSE_CHECK(r.ok(), "cholesky: matrix is not positive definite");
 }
 
 }  // namespace phmse::linalg::ref

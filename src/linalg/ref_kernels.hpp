@@ -19,6 +19,7 @@
 #pragma once
 
 #include "linalg/matrix.hpp"
+#include "linalg/status.hpp"
 #include "parallel/exec.hpp"
 
 namespace phmse::linalg::ref {
@@ -37,8 +38,14 @@ void covariance_downdate(par::ExecContext& ctx, const Matrix& v,
 void gram(par::ExecContext& ctx, const Matrix& w, Matrix& out);
 
 /// In-place blocked Cholesky with the dot-product trailing update; lower
-/// triangle receives L, strict upper triangle zeroed.  Throws phmse::Error
-/// if A is not (numerically) positive definite.
+/// triangle receives L, strict upper triangle zeroed.  Returns the failing
+/// pivot instead of throwing when A is not (numerically) positive definite
+/// (same status contract as the production kernel).
+[[nodiscard]] CholeskyResult cholesky_factor(par::ExecContext& ctx, Matrix& a,
+                                             Index block_size = 48);
+
+/// Throwing wrapper over cholesky_factor: throws phmse::Error if A is not
+/// (numerically) positive definite.
 void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size = 48);
 
 }  // namespace phmse::linalg::ref

@@ -1,0 +1,26 @@
+// Status types for the non-throwing numerical-kernel entry points.
+//
+// The fault-tolerance layer (DESIGN.md §9) needs to observe a failed
+// factorization without unwinding through the executor, so the Cholesky
+// kernels come in two flavours: a `*_factor` function returning a
+// CholeskyResult, and the historical throwing wrapper built on top of it.
+#pragma once
+
+#include "support/types.hpp"
+
+namespace phmse::linalg {
+
+/// Outcome of a Cholesky factorization attempt.  On failure the matrix is
+/// left partially factored (columns before the failing pivot are final);
+/// callers that intend to retry must re-form the input.
+struct [[nodiscard]] CholeskyResult {
+  /// Index of the first pivot whose diagonal was not strictly positive
+  /// (the matrix is not numerically SPD there), or -1 on success.  A NaN
+  /// diagonal — e.g. from non-finite input — also reports as this pivot.
+  Index failed_pivot = -1;
+
+  bool ok() const { return failed_pivot < 0; }
+  explicit operator bool() const { return ok(); }
+};
+
+}  // namespace phmse::linalg

@@ -86,6 +86,77 @@ TEST(ConstraintIo, RejectsNonPositiveSigma) {
   EXPECT_THROW(read_constraints(ss, 4), phmse::Error);
 }
 
+TEST(ConstraintIo, RejectsNonFiniteObservedValue) {
+  // std::stod parses "nan"/"inf" happily; the reader must not let either
+  // through — a non-finite observation would poison the solve far from the
+  // file that caused it.
+  for (const char* bad : {"nan", "-nan", "inf", "-inf", "NAN", "Infinity"}) {
+    std::stringstream ss(std::string("distance 0 1 ") + bad + " 0.1\n");
+    EXPECT_THROW(read_constraints(ss, 4), phmse::Error)
+        << "observed value '" << bad << "' was accepted";
+  }
+}
+
+TEST(ConstraintIo, RejectsNonFiniteOrNonPositiveSigma) {
+  for (const char* bad : {"nan", "inf", "0", "-0.5", "1e-300", "1e300"}) {
+    // 1e-300 squares to a variance that underflows to subnormal-then-zero
+    // territory; 1e300 squares to overflow.  Both are rejected up front.
+    std::stringstream ss(std::string("distance 0 1 2.0 ") + bad + "\n");
+    EXPECT_THROW(read_constraints(ss, 4), phmse::Error)
+        << "sigma '" << bad << "' was accepted";
+  }
+}
+
+TEST(ConstraintIo, RejectsNonFiniteOrOutOfRangeCategory) {
+  // The optional trailing category is cast to int; a non-finite or
+  // out-of-range double would make that cast undefined behavior (seen in
+  // the wild as category -2147483648).
+  for (const char* bad : {"nan", "inf", "-inf", "1e300", "3e9", "-3e9"}) {
+    std::stringstream ss(std::string("distance 0 1 2.0 0.1 ") + bad + "\n");
+    EXPECT_THROW(read_constraints(ss, 4), phmse::Error)
+        << "category '" << bad << "' was accepted";
+  }
+  std::stringstream ok("distance 0 1 2.0 0.1 5\n");
+  EXPECT_EQ(read_constraints(ok, 4).all()[0].category, 5);
+}
+
+TEST(ConstraintIo, NonFiniteRejectionMentionsLineNumber) {
+  std::stringstream ss("distance 0 1 2.0 0.1\nangle 0 1 2 nan 0.1\n");
+  try {
+    read_constraints(ss, 4);
+    FAIL() << "expected throw";
+  } catch (const phmse::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("finite"), std::string::npos) << what;
+  }
+}
+
+TEST(ConstraintIo, RejectionRoundTrip) {
+  // A set written by write_constraints always reads back (the writer can
+  // only emit finite values), and hand-corrupting the text afterwards is
+  // caught on the way back in.
+  ConstraintSet set;
+  Constraint c;
+  c.kind = Kind::kDistance;
+  c.atoms = {0, 1, 0, 0};
+  c.observed = 2.5;
+  c.variance = 0.01;
+  set.add(c);
+
+  std::stringstream out;
+  write_constraints(out, set, "rejection round trip");
+  std::stringstream back(out.str());
+  EXPECT_EQ(read_constraints(back, 4).size(), 1);
+
+  std::string corrupted = out.str();
+  const std::size_t pos = corrupted.find("2.5");
+  ASSERT_NE(pos, std::string::npos);
+  corrupted.replace(pos, 3, "inf");
+  std::stringstream bad(corrupted);
+  EXPECT_THROW(read_constraints(bad, 4), phmse::Error);
+}
+
 TEST(ConstraintIo, RejectsBadAxis) {
   std::stringstream ss("position 0 w 1.0 0.1\n");
   EXPECT_THROW(read_constraints(ss, 4), phmse::Error);

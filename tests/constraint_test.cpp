@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "constraints/constraint.hpp"
 #include "constraints/set.hpp"
@@ -98,6 +99,75 @@ TEST(DistanceConstraint, CoincidentAtomsYieldZeroGradient) {
   EXPECT_DOUBLE_EQ(v, 0.0);
   EXPECT_DOUBLE_EQ(g.d[0].x, 0.0);
   EXPECT_DOUBLE_EQ(g.d[1].x, 0.0);
+}
+
+TEST(DegenerateGeometry, EveryKindIsTotalOnCoincidentAtoms) {
+  // All four atoms at the same point: every measurement function follows
+  // the straight-angle convention — finite value, zero gradient — instead
+  // of dividing by a zero norm.
+  for (const Kind kind :
+       {Kind::kDistance, Kind::kAngle, Kind::kTorsion, Kind::kPosition}) {
+    Constraint c;
+    c.kind = kind;
+    std::array<Vec3, 4> pos;
+    pos.fill({1.25, -0.5, 3.0});
+    Gradient g;
+    const double v = evaluate_with_gradient(c, pos, g);
+    EXPECT_TRUE(std::isfinite(v)) << "kind " << static_cast<int>(kind);
+    if (kind != Kind::kPosition) {  // position's gradient is exactly e_axis
+      for (Index k = 0; k < arity(kind); ++k) {
+        const Vec3& d = g.d[static_cast<std::size_t>(k)];
+        EXPECT_EQ(d.x, 0.0);
+        EXPECT_EQ(d.y, 0.0);
+        EXPECT_EQ(d.z, 0.0);
+      }
+    }
+  }
+}
+
+TEST(DegenerateGeometry, CollinearTorsionYieldsZeroGradient) {
+  Constraint c;
+  c.kind = Kind::kTorsion;
+  std::array<Vec3, 4> pos{};
+  for (int i = 0; i < 4; ++i) pos[static_cast<std::size_t>(i)] = {1.0 * i, 0, 0};
+  Gradient g;
+  const double v = evaluate_with_gradient(c, pos, g);
+  EXPECT_TRUE(std::isfinite(v));
+  for (const Vec3& d : g.d) {
+    EXPECT_EQ(d.x, 0.0);
+    EXPECT_EQ(d.y, 0.0);
+    EXPECT_EQ(d.z, 0.0);
+  }
+}
+
+TEST(DegenerateGeometry, NonFinitePositionsNeverLeakIntoValueOrGradient) {
+  // NaN/inf coordinates fail every `norm < epsilon` guard (NaN compares
+  // false), so without the centralized guard they would flow through the
+  // arithmetic into the residual and Jacobian.  The evaluators must return
+  // a finite value and finite (zero) gradients instead; BatchUpdater's
+  // validation separately reports the poisoned state.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Rng rng(55);
+  for (const Kind kind :
+       {Kind::kDistance, Kind::kAngle, Kind::kTorsion, Kind::kPosition}) {
+    for (const double bad : {nan, inf, -inf}) {
+      Constraint c;
+      c.kind = kind;
+      std::array<Vec3, 4> pos = random_positions(rng);
+      pos[0].y = bad;  // atom 0 participates in every kind
+      Gradient g;
+      const double v = evaluate_with_gradient(c, pos, g);
+      EXPECT_TRUE(std::isfinite(v))
+          << "kind " << static_cast<int>(kind) << " bad " << bad;
+      for (Index k = 0; k < arity(kind); ++k) {
+        const Vec3& d = g.d[static_cast<std::size_t>(k)];
+        EXPECT_TRUE(std::isfinite(d.x) && std::isfinite(d.y) &&
+                    std::isfinite(d.z))
+            << "kind " << static_cast<int>(kind) << " atom " << k;
+      }
+    }
+  }
 }
 
 TEST(AngleConstraint, EvaluatesKnownAngles) {

@@ -303,5 +303,47 @@ TEST(PlanEquivalence, RepeatedAndThreadedSolvesMatchAFreshRunBitwise) {
   EXPECT_EQ(again.posterior().c, fresh.state.c);
 }
 
+TEST(PlanEquivalence, FaultPoliciesAreBitwiseInvisibleOnCleanData) {
+  // The §9 fault-tolerance machinery must not change a single bit of a
+  // clean solve: a plan compiled with the explicit abort policy and plans
+  // compiled with every degradation policy all reproduce the default
+  // plan's posterior exactly, and report every batch as ok.
+  mol::HelixModel model = mol::build_helix(2);
+  const cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  Rng rng(12);
+  linalg::Vector x0 = model.topology.true_state();
+  for (auto& v : x0) v += rng.gaussian(0.0, 0.25);
+
+  auto compile = [&](const est::SolvePolicy& policy) {
+    engine::Problem problem = engine::Problem::custom(
+        model.topology.size(), set,
+        [&model] { return build_helix_hierarchy(model); });
+    engine::CompileOptions copts;
+    copts.solve.max_cycles = 2;
+    copts.solve.prior_sigma = 0.5;
+    copts.solve.policy = policy;
+    return engine::Engine::compile(problem, copts);
+  };
+
+  engine::Plan base_plan = compile({});  // default-constructed = abort
+  const engine::Result base = base_plan.solve(x0);
+  EXPECT_TRUE(base.report.clean());
+  EXPECT_EQ(base.report.ok, base.report.batches);
+  EXPECT_GT(base.report.batches, 0);
+
+  for (const est::SolvePolicy& policy :
+       {est::SolvePolicy::abort(), est::SolvePolicy::skip_batch(),
+        est::SolvePolicy::retry_regularized(),
+        est::SolvePolicy::gate_outliers()}) {
+    engine::Plan plan = compile(policy);
+    const engine::Result r = plan.solve(x0);
+    EXPECT_EQ(r.posterior().x, base.posterior().x);
+    EXPECT_EQ(r.posterior().c, base.posterior().c);
+    EXPECT_TRUE(r.report.clean());
+    EXPECT_EQ(r.report.max_attempts, 1);
+    EXPECT_TRUE(r.report.incidents.empty());
+  }
+}
+
 }  // namespace
 }  // namespace phmse::core

@@ -5,6 +5,8 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
+#include <span>
 #include <string>
 
 #include "constraints/helix_gen.hpp"
@@ -156,6 +158,77 @@ TEST_P(BatchSweep, RepeatedIdenticalMeasurementsConcentrate) {
   const double expected_var =
       prior * r / (r + static_cast<double>(k) * prior);
   EXPECT_NEAR(st.c(0, 0), expected_var, 1e-9);
+}
+
+TEST_P(BatchSweep, RejectedBatchLeavesStateBitwiseUntouched) {
+  // Transactional apply (DESIGN.md §9): a batch rejected by pre-update
+  // validation — here a NaN observation — must leave x and C bitwise
+  // identical, at every batch size, not merely "numerically close".
+  Rng rng(120 + static_cast<std::uint64_t>(GetParam()));
+  NodeState st = random_chain_state(10, 1.0, rng);
+  cons::ConstraintSet set = random_constraints(st, GetParam(), rng);
+  set.set_observed(set.size() / 2, std::numeric_limits<double>::quiet_NaN());
+
+  par::SerialContext ctx;
+  BatchUpdater up;
+  const NodeState before = st;
+  const BatchOutcome out =
+      up.apply(ctx, st, std::span<const Constraint>(set.all()),
+               SolvePolicy::skip_batch());
+
+  EXPECT_EQ(out.status, BatchStatus::kSkipped);
+  EXPECT_EQ(out.attempts, 0);
+  EXPECT_EQ(st.x, before.x);
+  EXPECT_EQ(st.c, before.c);
+
+  // And under the default abort policy the same batch throws, also without
+  // touching the state.
+  EXPECT_THROW(up.apply(ctx, st, std::span<const Constraint>(set.all())),
+               Error);
+  EXPECT_EQ(st.x, before.x);
+  EXPECT_EQ(st.c, before.c);
+}
+
+TEST_P(BatchSweep, NonAbortPolicyIsBitwiseIdenticalOnCleanData) {
+  // The retry ladder and chi-squared gate observe a clean batch without
+  // perturbing it: every policy produces the same bits as the historical
+  // abort path.  "Clean" includes statistically consistent — the gate is
+  // entitled to drop genuine outliers, so observe the state's own geometry
+  // with noise at the constraint's sigma (chi^2/dof stays near 1, far
+  // under the gate threshold of 25).
+  Rng rng(140 + static_cast<std::uint64_t>(GetParam()));
+  const NodeState reference = random_chain_state(9, 1.0, rng);
+  cons::ConstraintSet set;
+  for (Index i = 0; i < 50; ++i) {
+    Constraint c;
+    c.kind = Kind::kDistance;
+    Index a = rng.uniform_int(0, 8);
+    Index b = rng.uniform_int(0, 8);
+    if (a == b) b = (b + 1) % 9;
+    c.atoms = {a, b, 0, 0};
+    const mol::Vec3 u = reference.position(a) - reference.position(b);
+    c.observed = u.norm() + rng.gaussian(0.0, 0.2);
+    c.variance = 0.04;
+    set.add(c);
+  }
+
+  par::SerialContext ctx;
+  NodeState baseline = reference;
+  BatchUpdater up0;
+  up0.apply_all(ctx, baseline, set, GetParam(), 8);  // default: abort
+
+  for (const SolvePolicy& policy :
+       {SolvePolicy::skip_batch(), SolvePolicy::retry_regularized(),
+        SolvePolicy::gate_outliers()}) {
+    NodeState st = reference;
+    BatchUpdater up;
+    NodeReport report;
+    up.apply_all(ctx, st, set, GetParam(), 8, policy, &report);
+    EXPECT_EQ(st.x, baseline.x);
+    EXPECT_EQ(st.c, baseline.c);
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(report.ok, report.batches);
+  }
 }
 
 // End-to-end invariance: a seeded full refinement of a 2-bp helix (86
