@@ -1,32 +1,47 @@
 #!/usr/bin/env python3
-"""Validate and compare phmse-kernel-bench-v1 JSON documents.
+"""Validate and compare phmse bench JSON documents.
 
-Produced by bench/kernels_regress (see DESIGN.md §7).  Two modes:
+Two document schemas are understood, distinguished by their "schema" key:
+
+  phmse-kernel-bench-v1   — bench/kernels_regress and bench/solve_regress
+                            (per-kernel best-rep timings, DESIGN.md §7);
+  phmse-service-bench-v1  — bench/service_regress (multi-tenant solve
+                            service throughput and latency, DESIGN.md §10).
+
+Two modes:
 
   Validate only (schema + internal consistency):
       scripts/bench_check.py --validate BENCH_kernels.json
+      scripts/bench_check.py --validate BENCH_service.json
 
   Compare a fresh run against the committed baseline:
       scripts/bench_check.py --baseline BENCH_kernels.json \
           --current build/BENCH_kernels.json [--tolerance 0.25] [--report-only]
 
-Records are matched by (kernel, impl, m, n, threads).  A configuration
-regresses when its best-rep time exceeds the baseline by more than the
-tolerance band (default 25% — wide because the harness runs on shared
-machines; the best-rep timing in bench_util already rejects most co-tenant
-noise).  Matched configs that got faster, and configs present on only one
+Kernel records are matched by (kernel, impl, m, n, threads) and compared
+on best-rep seconds (lower is better); service records are matched by
+(workload, mode, tenants, requests, workers) and compared on solves/sec
+(higher is better).  A configuration regresses when it degrades beyond
+the tolerance band (default 25% — wide because the harness runs on shared
+machines).  Matched configs that improved, and configs present on only one
 side, are reported but never fail the check.  --report-only prints the
 comparison but always exits 0 (used by the CI smoke job, whose tiny shapes
 are not comparable to the committed full-scale baseline).
 
 --max-robustness-overhead [FRACTION] (default 0.02 when given) adds an
-INTRA-document check: wherever a document contains both a
+INTRA-document check: wherever a kernel document contains both a
 plan_solve_steady and a plan_solve_policy row for the same configuration,
 the policy row must not exceed the steady row by more than the fraction
 (DESIGN.md §9 — the always-on validation/report path must stay < 2%).
-Both rows come from the same interleaved run on the same machine, so
-unlike the cross-run baseline comparison this check is meaningful at any
-scale and is NOT silenced by --report-only.
+
+--min-warm-speedup [FACTOR] (default 5.0 when given) adds the service
+analogue: wherever a service document contains both a cold and a warm row
+for the same configuration, warm solves/sec must be at least FACTOR times
+cold solves/sec (DESIGN.md §10 — the plan cache must pay for itself).
+
+Both intra-document rows come from the same interleaved run on the same
+machine, so unlike the cross-run baseline comparison these checks are
+meaningful at any scale and are NOT silenced by --report-only.
 
 Exit status: 0 ok / report-only, 1 regression found, 2 invalid input.
 """
@@ -35,7 +50,8 @@ import argparse
 import json
 import sys
 
-SCHEMA = "phmse-kernel-bench-v1"
+KERNEL_SCHEMA = "phmse-kernel-bench-v1"
+SERVICE_SCHEMA = "phmse-service-bench-v1"
 KNOWN_KERNELS = {
     "covariance_downdate",
     "gram",
@@ -52,8 +68,9 @@ KNOWN_KERNELS = {
     "plan_solve_policy",
 }
 KNOWN_IMPLS = {"blocked", "ref", "engine"}
+KNOWN_MODES = {"cold", "warm"}
 
-REQUIRED_FIELDS = {
+KERNEL_FIELDS = {
     "kernel": str,
     "impl": str,
     "m": int,
@@ -65,6 +82,20 @@ REQUIRED_FIELDS = {
     "bytes": float,
     "gflops": float,
     "gbytes_per_sec": float,
+}
+
+SERVICE_FIELDS = {
+    "workload": str,
+    "mode": str,
+    "tenants": int,
+    "requests": int,
+    "workers": int,
+    "solves_per_sec": float,
+    "p50_ms": float,
+    "p95_ms": float,
+    "p99_ms": float,
+    "cache_hits": int,
+    "cache_misses": int,
 }
 
 
@@ -83,23 +114,29 @@ def load(path):
     return doc
 
 
+def is_service(doc):
+    return doc.get("schema") == SERVICE_SCHEMA
+
+
 def validate(doc, path):
     """Schema check; exits 2 with a pointed message on the first violation."""
     if not isinstance(doc, dict):
         fail(f"{path}: top level must be an object")
-    if doc.get("schema") != SCHEMA:
-        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if doc.get("schema") not in (KERNEL_SCHEMA, SERVICE_SCHEMA):
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected "
+             f"{KERNEL_SCHEMA!r} or {SERVICE_SCHEMA!r}")
     if not isinstance(doc.get("bench_scale"), (int, float)):
         fail(f"{path}: missing numeric bench_scale")
     results = doc.get("results")
     if not isinstance(results, list) or not results:
         fail(f"{path}: results must be a non-empty array")
+    fields = SERVICE_FIELDS if is_service(doc) else KERNEL_FIELDS
     seen = set()
     for i, rec in enumerate(results):
         where = f"{path}: results[{i}]"
         if not isinstance(rec, dict):
             fail(f"{where}: must be an object")
-        for field, ftype in REQUIRED_FIELDS.items():
+        for field, ftype in fields.items():
             if field not in rec:
                 fail(f"{where}: missing field {field!r}")
             value = rec[field]
@@ -108,19 +145,30 @@ def validate(doc, path):
                     fail(f"{where}: {field} must be a number")
             elif not isinstance(value, ftype):
                 fail(f"{where}: {field} must be {ftype.__name__}")
-        if rec["kernel"] not in KNOWN_KERNELS:
-            fail(f"{where}: unknown kernel {rec['kernel']!r}")
-        if rec["impl"] not in KNOWN_IMPLS:
-            fail(f"{where}: unknown impl {rec['impl']!r}")
-        if rec["seconds"] <= 0 or rec["reps"] <= 0:
-            fail(f"{where}: seconds and reps must be positive")
-        k = key(rec)
+        if is_service(doc):
+            if rec["mode"] not in KNOWN_MODES:
+                fail(f"{where}: unknown mode {rec['mode']!r}")
+            if rec["solves_per_sec"] <= 0:
+                fail(f"{where}: solves_per_sec must be positive")
+            if min(rec["tenants"], rec["requests"], rec["workers"]) <= 0:
+                fail(f"{where}: tenants/requests/workers must be positive")
+        else:
+            if rec["kernel"] not in KNOWN_KERNELS:
+                fail(f"{where}: unknown kernel {rec['kernel']!r}")
+            if rec["impl"] not in KNOWN_IMPLS:
+                fail(f"{where}: unknown impl {rec['impl']!r}")
+            if rec["seconds"] <= 0 or rec["reps"] <= 0:
+                fail(f"{where}: seconds and reps must be positive")
+        k = key(doc, rec)
         if k in seen:
             fail(f"{where}: duplicate configuration {k}")
         seen.add(k)
 
 
-def key(rec):
+def key(doc, rec):
+    if is_service(doc):
+        return (rec["workload"], rec["mode"], rec["tenants"],
+                rec["requests"], rec["workers"])
     return (rec["kernel"], rec["impl"], rec["m"], rec["n"], rec["threads"])
 
 
@@ -131,6 +179,11 @@ def check_robustness_overhead(doc, path, max_overhead):
     same interleaved run (bench/solve_regress), so their ratio is a
     machine-independent overhead measurement.
     """
+    if is_service(doc):
+        print(f"bench_check: note: {path} is a service document; "
+              "robustness overhead not checked")
+        return 0
+
     def config(rec):
         return (rec["impl"], rec["m"], rec["n"], rec["threads"])
 
@@ -157,22 +210,73 @@ def check_robustness_overhead(doc, path, max_overhead):
     return violations
 
 
+def check_warm_speedup(doc, path, min_speedup):
+    """Intra-document warm vs cold throughput gate for service documents.
+
+    Returns the number of violations.  Both rows come from the same
+    back-to-back run (bench/service_regress), so the ratio measures the
+    plan cache's payoff independent of the machine's absolute speed.
+    """
+    if not is_service(doc):
+        print(f"bench_check: note: {path} is a kernel document; "
+              "warm speedup not checked")
+        return 0
+
+    def config(rec):
+        return (rec["workload"], rec["tenants"], rec["requests"],
+                rec["workers"])
+
+    cold = {config(r): r for r in doc["results"] if r["mode"] == "cold"}
+    warm = {config(r): r for r in doc["results"] if r["mode"] == "warm"}
+    violations = 0
+    checked = 0
+    for cfg in sorted(cold.keys() & warm.keys()):
+        checked += 1
+        speedup = (warm[cfg]["solves_per_sec"] /
+                   cold[cfg]["solves_per_sec"])
+        tag = "{} tenants={} requests={} workers={}".format(*cfg)
+        if speedup < min_speedup:
+            violations += 1
+            verdict = "REGRESS"
+        else:
+            verdict = "ok"
+        print("  {:8s} warm speedup {} {:.2f}x (floor {:.2f}x)"
+              .format(verdict, tag, speedup, min_speedup))
+    if not checked:
+        print(f"bench_check: note: {path} has no cold/warm row pair; "
+              "warm speedup not checked")
+    return violations
+
+
 def compare(baseline, current, tolerance):
     """Returns (lines, regression_count) for the matched configurations."""
-    base = {key(r): r for r in baseline["results"]}
-    curr = {key(r): r for r in current["results"]}
+    service = is_service(baseline)
+    base = {key(baseline, r): r for r in baseline["results"]}
+    curr = {key(current, r): r for r in current["results"]}
     lines = []
     regressions = 0
     for k in sorted(base.keys() | curr.keys()):
-        tag = "{}/{} m={} n={} t={}".format(k[0], k[1], k[2], k[3], k[4])
+        if service:
+            tag = "{}/{} tenants={} requests={} workers={}".format(*k)
+        else:
+            tag = "{}/{} m={} n={} t={}".format(*k)
         if k not in curr:
             lines.append(f"  MISSING  {tag} (in baseline only)")
             continue
         if k not in base:
             lines.append(f"  NEW      {tag} (no baseline)")
             continue
-        b, c = base[k]["seconds"], curr[k]["seconds"]
-        ratio = c / b
+        if service:
+            # Throughput: higher is better; degradation ratio mirrors the
+            # kernel seconds ratio so one tolerance band covers both.
+            b = base[k]["solves_per_sec"]
+            c = curr[k]["solves_per_sec"]
+            ratio = b / c if c > 0 else float("inf")
+            detail = "{:.1f}/s -> {:.1f}/s".format(b, c)
+        else:
+            b, c = base[k]["seconds"], curr[k]["seconds"]
+            ratio = c / b
+            detail = "{:.3e}s -> {:.3e}s".format(b, c)
         if ratio > 1.0 + tolerance:
             regressions += 1
             verdict = "REGRESS"
@@ -181,8 +285,8 @@ def compare(baseline, current, tolerance):
         else:
             verdict = "ok"
         lines.append(
-            "  {:8s} {} {:.3e}s -> {:.3e}s ({:+.1f}%)".format(
-                verdict, tag, b, c, 100.0 * (ratio - 1.0)
+            "  {:8s} {} {} ({:+.1f}%)".format(
+                verdict, tag, detail, 100.0 * (ratio - 1.0)
             )
         )
     return lines, regressions
@@ -197,30 +301,42 @@ def main():
     ap.add_argument("--current", metavar="JSON",
                     help="freshly produced document to compare")
     ap.add_argument("--tolerance", type=float, default=0.25,
-                    help="allowed slowdown fraction (default 0.25)")
+                    help="allowed degradation fraction (default 0.25)")
     ap.add_argument("--report-only", action="store_true",
                     help="print the comparison but always exit 0")
     ap.add_argument("--max-robustness-overhead", metavar="FRACTION",
                     type=float, nargs="?", const=0.02, default=None,
                     help="fail if plan_solve_policy exceeds plan_solve_steady "
-                         "by more than FRACTION within a document "
+                         "by more than FRACTION within a kernel document "
                          "(default 0.02 when the flag is given); "
+                         "not silenced by --report-only")
+    ap.add_argument("--min-warm-speedup", metavar="FACTOR",
+                    type=float, nargs="?", const=5.0, default=None,
+                    help="fail if warm solves/sec is below FACTOR times cold "
+                         "solves/sec within a service document "
+                         "(default 5.0 when the flag is given); "
                          "not silenced by --report-only")
     args = ap.parse_args()
 
     if args.max_robustness_overhead is not None \
             and args.max_robustness_overhead < 0:
         ap.error("--max-robustness-overhead must be >= 0")
+    if args.min_warm_speedup is not None and args.min_warm_speedup < 1:
+        ap.error("--min-warm-speedup must be >= 1")
 
     if args.validate:
         doc = load(args.validate)
-        print(f"bench_check: {args.validate}: valid {SCHEMA}")
+        print(f"bench_check: {args.validate}: valid {doc['schema']}")
+        bad = 0
         if args.max_robustness_overhead is not None:
-            bad = check_robustness_overhead(doc, args.validate,
-                                            args.max_robustness_overhead)
-            if bad:
-                print(f"bench_check: {bad} robustness overhead violation(s)")
-                return 1
+            bad += check_robustness_overhead(doc, args.validate,
+                                             args.max_robustness_overhead)
+        if args.min_warm_speedup is not None:
+            bad += check_warm_speedup(doc, args.validate,
+                                      args.min_warm_speedup)
+        if bad:
+            print(f"bench_check: {bad} intra-document violation(s)")
+            return 1
         return 0
 
     if not args.baseline or not args.current:
@@ -230,6 +346,9 @@ def main():
 
     baseline = load(args.baseline)
     current = load(args.current)
+    if baseline["schema"] != current["schema"]:
+        fail(f"cannot compare {baseline['schema']} against "
+             f"{current['schema']}")
     if baseline["bench_scale"] != current["bench_scale"]:
         print(
             "bench_check: note: bench_scale differs "
@@ -243,13 +362,15 @@ def main():
     for line in lines:
         print(line)
 
-    overhead_violations = 0
+    intra_violations = 0
     if args.max_robustness_overhead is not None:
-        overhead_violations = check_robustness_overhead(
+        intra_violations += check_robustness_overhead(
             current, args.current, args.max_robustness_overhead)
-        if overhead_violations:
-            print(f"bench_check: {overhead_violations} robustness overhead "
-                  "violation(s)")
+    if args.min_warm_speedup is not None:
+        intra_violations += check_warm_speedup(
+            current, args.current, args.min_warm_speedup)
+    if intra_violations:
+        print(f"bench_check: {intra_violations} intra-document violation(s)")
 
     if regressions:
         print(f"bench_check: {regressions} configuration(s) regressed")
@@ -259,7 +380,7 @@ def main():
         print("bench_check: no regressions")
     # Intra-document: both rows come from the same run, so --report-only's
     # cross-machine rationale does not apply.
-    return 1 if overhead_violations else 0
+    return 1 if intra_violations else 0
 
 
 if __name__ == "__main__":

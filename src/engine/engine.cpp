@@ -93,23 +93,29 @@ core::WorkModel calibrate_work_model(core::Hierarchy& hierarchy,
 }  // namespace
 
 Problem Problem::flat(Index num_atoms, cons::ConstraintSet constraints) {
-  return custom(num_atoms, std::move(constraints),
-                [num_atoms] { return core::build_flat_hierarchy(num_atoms); });
+  return custom(
+      num_atoms, std::move(constraints),
+      [num_atoms] { return core::build_flat_hierarchy(num_atoms); }, "flat");
 }
 
 Problem Problem::bisection(Index num_atoms, cons::ConstraintSet constraints,
                            Index max_leaf_atoms) {
-  return custom(num_atoms, std::move(constraints), [num_atoms, max_leaf_atoms] {
-    return core::build_bisection_hierarchy(num_atoms, max_leaf_atoms);
-  });
+  return custom(
+      num_atoms, std::move(constraints),
+      [num_atoms, max_leaf_atoms] {
+        return core::build_bisection_hierarchy(num_atoms, max_leaf_atoms);
+      },
+      "bisection/" + std::to_string(max_leaf_atoms));
 }
 
 Problem Problem::custom(Index num_atoms, cons::ConstraintSet constraints,
-                        std::function<core::Hierarchy()> decompose) {
+                        std::function<core::Hierarchy()> decompose,
+                        std::string recipe) {
   Problem p;
   p.num_atoms = num_atoms;
   p.constraints = std::move(constraints);
   p.decompose = std::move(decompose);
+  p.recipe = std::move(recipe);
   return p;
 }
 
@@ -176,11 +182,24 @@ Result make_result(const core::SolvePlan& plan,
 
 }  // namespace
 
+Plan::SolveFlight::SolveFlight(std::atomic<bool>& busy) : busy_(busy) {
+  PHMSE_CHECK(!busy_.exchange(true, std::memory_order_acq_rel),
+              "concurrent solve() on one Plan: per-node state and "
+              "workspaces are mutated during a solve, so solves on a "
+              "single plan are single-flight (use one Plan instance per "
+              "in-flight solve, e.g. via the phmse::Server plan cache)");
+}
+
+Plan::SolveFlight::~SolveFlight() {
+  busy_.store(false, std::memory_order_release);
+}
+
 Result Plan::solve(const linalg::Vector& initial_x) {
   return solve(serial_, initial_x);
 }
 
 Result Plan::solve(par::ExecContext& ctx, const linalg::Vector& initial_x) {
+  const SolveFlight flight(*in_solve_);
   const perf::Profile before = ctx.profile();
   Stopwatch sw;
   const core::PlanRunStats stats = plan_->run(ctx, initial_x);
@@ -190,6 +209,7 @@ Result Plan::solve(par::ExecContext& ctx, const linalg::Vector& initial_x) {
 }
 
 Result Plan::solve(par::ThreadPool& pool, const linalg::Vector& initial_x) {
+  const SolveFlight flight(*in_solve_);
   Stopwatch sw;
   const core::PlanRunStats stats = plan_->run_threaded(pool, initial_x);
   Result r = make_result(*plan_, stats, sw.seconds());
@@ -199,6 +219,7 @@ Result Plan::solve(par::ThreadPool& pool, const linalg::Vector& initial_x) {
 
 Result Plan::solve(simarch::SimMachine& machine,
                    const linalg::Vector& initial_x) {
+  const SolveFlight flight(*in_solve_);
   Stopwatch sw;
   const core::PlanRunStats stats = plan_->run_sim(machine, initial_x);
   Result r = make_result(*plan_, stats, sw.seconds());
@@ -215,10 +236,36 @@ void Plan::reschedule(int processors) {
 }
 
 void Plan::set_observations(std::span<const double> values) {
-  PHMSE_CHECK(values.size() == slots_.size(),
-              "observation count does not match the compiled constraints");
+  // Two failure modes must produce a loud error, never a silent misbind:
+  //  * a wrong-length vector (e.g. built from a constraint file whose
+  //    loader dropped malformed lines, so its count no longer matches the
+  //    set the plan was compiled from);
+  //  * a compiled slot that no longer resolves to a live constraint (a
+  //    node's constraint list shrank behind the plan's back).  The slot
+  //    lookup used to be an assert that compiles out in release builds,
+  //    which made this an out-of-bounds write instead of an error.
+  if (values.size() != slots_.size()) {
+    throw Error("set_observations: got " + std::to_string(values.size()) +
+                " values for a plan compiled from " +
+                std::to_string(slots_.size()) +
+                " constraints; rebinding requires exactly one value per "
+                "compiled constraint, in the problem's constraint order");
+  }
   for (std::size_t i = 0; i < values.size(); ++i) {
     const core::AssignedSlot& slot = slots_[i];
+    if (slot.node == nullptr || slot.index < 0 ||
+        slot.index >= slot.node->constraints.size()) {
+      throw Error(
+          "set_observations: compiled slot for constraint " +
+          std::to_string(i) + " no longer resolves to a live constraint" +
+          (slot.node == nullptr
+               ? std::string(" (unassigned slot)")
+               : " (node '" + slot.node->name + "' holds " +
+                     std::to_string(slot.node->constraints.size()) +
+                     " constraints, slot index " +
+                     std::to_string(slot.index) + ")") +
+          "; the hierarchy's constraint lists were mutated after compile");
+    }
     slot.node->constraints.set_observed(slot.index, values[i]);
   }
 }

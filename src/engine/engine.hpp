@@ -19,6 +19,8 @@
 // steady state performs zero heap allocations.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <span>
@@ -43,6 +45,13 @@ struct Problem {
   /// Builds the §3 hierarchy over atoms [0, num_atoms).  Invoked once per
   /// compile; the callback owns whatever model state it needs.
   std::function<core::Hierarchy()> decompose;
+  /// Structural identity of the decomposition recipe.  `decompose` is an
+  /// opaque callable, so callers that want plan caching (phmse::Server)
+  /// name the recipe here: two Problems whose recipe strings differ never
+  /// share a cached plan.  The factories below fill it in; for custom()
+  /// the tag is the caller's responsibility and an empty tag marks the
+  /// problem as uncacheable.
+  std::string recipe;
 
   /// Single-node decomposition: the flat (non-hierarchical) solver.
   static Problem flat(Index num_atoms, cons::ConstraintSet constraints);
@@ -52,9 +61,11 @@ struct Problem {
                            Index max_leaf_atoms);
 
   /// Any decomposition recipe (helix/ribosome builders, graph partition,
-  /// bottom-up grouping, hand-built trees).
+  /// bottom-up grouping, hand-built trees).  `recipe` names the recipe for
+  /// the service-layer plan cache; leave it empty to opt out of caching.
   static Problem custom(Index num_atoms, cons::ConstraintSet constraints,
-                        std::function<core::Hierarchy()> decompose);
+                        std::function<core::Hierarchy()> decompose,
+                        std::string recipe = {});
 };
 
 /// Compilation parameters.
@@ -111,6 +122,13 @@ struct Result {
 
 /// A compiled problem: reusable across repeated solves, executors,
 /// processor counts, and observation vectors.  Movable, non-copyable.
+///
+/// Thread safety: a Plan owns persistent per-node state and workspaces
+/// that every solve() mutates, so solves on ONE plan are single-flight —
+/// overlapping calls from two threads throw phmse::Error instead of
+/// silently corrupting each other's numerics.  Different Plan objects are
+/// fully independent; the service layer (phmse::Server) hands each
+/// in-flight solve its own cached plan instance.
 class Plan {
  public:
   Plan(Plan&&) = default;
@@ -139,8 +157,16 @@ class Plan {
 
   /// Rebinds fresh observed values onto the compiled constraint slots:
   /// values[i] replaces the observed value of the i-th constraint of the
-  /// problem the plan was compiled from.
+  /// problem the plan was compiled from.  Throws phmse::Error if the count
+  /// does not match num_observation_slots() or any compiled slot no longer
+  /// resolves to a live constraint (e.g. a node's constraint list was
+  /// mutated behind the plan's back) — a mismatch must never silently bind
+  /// values to the wrong constraints.
   void set_observations(std::span<const double> values);
+
+  /// Number of values set_observations expects: one per constraint of the
+  /// compiled problem, in the problem's constraint order.
+  std::size_t num_observation_slots() const { return slots_.size(); }
 
   int processors() const { return processors_; }
   const core::WorkModel& work_model() const { return work_model_; }
@@ -156,6 +182,20 @@ class Plan {
   friend class Engine;
   Plan() = default;
 
+  /// RAII single-flight marker: entering a solve sets the flag, leaving
+  /// (normally or by exception) clears it.  Construction throws if a solve
+  /// is already in flight on the same plan.
+  class SolveFlight {
+   public:
+    explicit SolveFlight(std::atomic<bool>& busy);
+    ~SolveFlight();
+    SolveFlight(const SolveFlight&) = delete;
+    SolveFlight& operator=(const SolveFlight&) = delete;
+
+   private:
+    std::atomic<bool>& busy_;
+  };
+
   std::unique_ptr<core::Hierarchy> hierarchy_;
   std::vector<core::AssignedSlot> slots_;
   std::unique_ptr<core::SolvePlan> plan_;
@@ -163,6 +203,10 @@ class Plan {
   core::WorkModel work_model_;
   int processors_ = 1;
   CompileTimings timings_;
+  /// Single-flight guard; boxed so the Plan stays movable (moving a plan
+  /// with a solve in flight is a caller bug the guard also catches).
+  std::unique_ptr<std::atomic<bool>> in_solve_ =
+      std::make_unique<std::atomic<bool>>(false);
 };
 
 /// The facade entry point.

@@ -1,0 +1,46 @@
+// Structural fingerprint of a (Problem, CompileOptions) pair.
+//
+// Engine::compile depends on everything about a problem EXCEPT the observed
+// measurement values: the atom count, the decomposition recipe, each
+// constraint's kind / atoms / axis / variance / category, and the compile
+// options that shape the plan (solve parameters, policy, processor count).
+// Two submissions that agree on all of that can share one compiled plan and
+// differ only via Plan::set_observations — which is exactly what the
+// phmse::Server plan cache exploits.
+//
+// The fingerprint is a canonical word encoding of those structural fields
+// plus a 64-bit FNV-1a digest of it.  Lookups compare the digest first and
+// then the full encoding, so a hash collision can never alias two
+// structurally different problems onto one plan (the property tests in
+// tests/service_test.cpp pin both directions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace phmse::service {
+
+/// Canonical structural identity of a compile input.  Equality is exact
+/// (full encoding compare), not just hash equality.
+struct Fingerprint {
+  std::uint64_t digest = 0;
+  /// Canonical encoding the digest is computed over; kept so equality can
+  /// never be fooled by a 64-bit collision.
+  std::vector<std::uint64_t> words;
+
+  bool operator==(const Fingerprint& other) const = default;
+
+  /// False for problems that opted out of caching (empty Problem::recipe):
+  /// the decompose callable is opaque, so without a recipe tag two
+  /// different decompositions would be indistinguishable.
+  bool cacheable() const { return !words.empty(); }
+};
+
+/// Fingerprints `problem` under `options`.  Returns a non-cacheable (empty)
+/// fingerprint when problem.recipe is empty.
+Fingerprint fingerprint(const engine::Problem& problem,
+                        const engine::CompileOptions& options);
+
+}  // namespace phmse::service

@@ -1,0 +1,115 @@
+// Thread-safe LRU cache of compiled plans, keyed by structural fingerprint.
+//
+// A Plan's solves are single-flight (per-node state is mutated while a
+// solve runs), so the cache does not hand the same Plan object to two
+// concurrent solvers.  Instead every fingerprint maps to a small pool of
+// interchangeable plan *instances*: acquire() checks an idle instance out
+// (or compiles a fresh one on a miss / when every instance is in flight),
+// and the returned PlanLease moves the instance back when it is destroyed.
+// Under concurrency an entry therefore grows to the observed parallelism
+// and then stops compiling — each returned instance is warm (its
+// workspaces were allocated by earlier solves), so a steady-state cache
+// hit costs no compile and no allocation.
+//
+// Eviction is LRU over fingerprint entries, bounded by a total idle
+// instance budget; counters (hits / misses / evictions / uncacheable) feed
+// the Server stats and the service benchmark.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "service/fingerprint.hpp"
+
+namespace phmse::service {
+
+class PlanCache;
+
+/// Exclusive use of one compiled plan instance.  Movable; the destructor
+/// returns the instance to the cache (or drops it for uncacheable
+/// problems).  A lease must not outlive its cache.
+class PlanLease {
+ public:
+  PlanLease(PlanLease&& other) noexcept;
+  PlanLease& operator=(PlanLease&& other) noexcept;
+  PlanLease(const PlanLease&) = delete;
+  PlanLease& operator=(const PlanLease&) = delete;
+  ~PlanLease();
+
+  engine::Plan& plan() { return *plan_; }
+  /// True when the instance came out of the cache rather than a compile.
+  bool cache_hit() const { return hit_; }
+  const Fingerprint& fingerprint() const { return fingerprint_; }
+
+ private:
+  friend class PlanCache;
+  PlanLease(PlanCache* cache, Fingerprint fingerprint, engine::Plan plan,
+            bool hit);
+
+  PlanCache* cache_ = nullptr;  // null after move-from or for uncacheable
+  Fingerprint fingerprint_;
+  std::optional<engine::Plan> plan_;
+  bool hit_ = false;
+};
+
+/// Thread-safe LRU plan cache.  All methods may be called concurrently;
+/// Engine::compile runs outside the cache lock, so a slow compile never
+/// stalls hits on other fingerprints.
+class PlanCache {
+ public:
+  struct Stats {
+    long hits = 0;         ///< acquire() served by an idle cached instance
+    long misses = 0;       ///< acquire() had to compile (incl. contention)
+    long evictions = 0;    ///< idle instances dropped by the LRU bound
+    long uncacheable = 0;  ///< acquire() for problems with no recipe tag
+    std::size_t entries = 0;         ///< distinct fingerprints held
+    std::size_t idle_instances = 0;  ///< plan instances ready to lease
+  };
+
+  /// `capacity` bounds the total number of *idle* plan instances retained
+  /// across all fingerprints (checked-out leases are not counted).
+  /// Capacity 0 disables retention: every acquire compiles.
+  explicit PlanCache(std::size_t capacity);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Checks out a plan for `problem` under `options`, compiling one if the
+  /// cache holds no idle instance for the fingerprint.  The leased plan
+  /// retains whatever observed values its last user bound — callers rebind
+  /// via Plan::set_observations before solving.
+  PlanLease acquire(const engine::Problem& problem,
+                    const engine::CompileOptions& options);
+
+  Stats stats() const;
+
+  /// Drops every idle instance (counted as evictions).
+  void clear();
+
+ private:
+  friend class PlanLease;
+
+  struct Entry {
+    Fingerprint fingerprint;
+    std::vector<engine::Plan> idle;
+  };
+
+  /// Returns a leased instance to its entry and applies the LRU bound.
+  void release_(const Fingerprint& fingerprint, engine::Plan plan);
+  void evict_to_capacity_();  // caller holds mutex_
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_ = 0;
+  std::list<Entry> entries_;  // most recently used first
+  std::size_t idle_instances_ = 0;
+  long hits_ = 0;
+  long misses_ = 0;
+  long evictions_ = 0;
+  long uncacheable_ = 0;
+};
+
+}  // namespace phmse::service

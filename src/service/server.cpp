@@ -1,0 +1,225 @@
+#include "service/server.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace phmse::service {
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      cache_(options.plan_cache_capacity),
+      pool_(options.workers) {
+  PHMSE_CHECK(options.workers >= 1, "Server needs at least one worker");
+  PHMSE_CHECK(options.max_pending >= 1 && options.max_pending_per_tenant >= 1,
+              "Server admission bounds must be >= 1");
+  free_workers_.reserve(static_cast<std::size_t>(options.workers));
+  for (int w = options.workers - 1; w >= 0; --w) free_workers_.push_back(w);
+}
+
+Server::~Server() { shutdown(/*drain_queued=*/true); }
+
+std::future<Response> Server::submit(const std::string& tenant,
+                                     Request request) {
+  // Validate synchronously: a malformed request is the submitter's bug and
+  // should fail at the call site, not inside a worker.
+  PHMSE_CHECK(request.problem.decompose != nullptr,
+              "submit: problem has no decomposition recipe");
+  if (!request.observations.empty() &&
+      static_cast<Index>(request.observations.size()) !=
+          request.problem.constraints.size()) {
+    throw Error("submit: " + std::to_string(request.observations.size()) +
+                " observations for a problem with " +
+                std::to_string(request.problem.constraints.size()) +
+                " constraints");
+  }
+  if (static_cast<Index>(request.initial.size()) !=
+      3 * request.problem.num_atoms) {
+    throw Error("submit: initial state has dimension " +
+                std::to_string(request.initial.size()) + ", expected 3 * " +
+                std::to_string(request.problem.num_atoms));
+  }
+
+  std::future<Response> future;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      ++rejected_;
+      throw ShutdownError("submit: server is shutting down");
+    }
+    if (queued_ >= options_.max_pending) {
+      ++rejected_;
+      throw AdmissionError("submit: server queue is full (" +
+                           std::to_string(options_.max_pending) +
+                           " pending solves)");
+    }
+    std::deque<Job>& queue = tenants_[tenant];
+    if (queue.size() >= options_.max_pending_per_tenant) {
+      ++rejected_;
+      throw AdmissionError("submit: tenant '" + tenant +
+                           "' queue is full (" +
+                           std::to_string(options_.max_pending_per_tenant) +
+                           " pending solves)");
+    }
+    Job job;
+    job.request = std::move(request);
+    future = job.promise.get_future();
+    if (queue.empty()) round_robin_.push_back(tenant);
+    queue.push_back(std::move(job));
+    ++queued_;
+    ++submitted_;
+    arm_pumps_();
+  }
+  return future;
+}
+
+void Server::arm_pumps_() {
+  while (!round_robin_.empty() && !free_workers_.empty()) {
+    const int worker = free_workers_.back();
+    try {
+      pool_.submit(worker, [this, worker] { pump_(worker); });
+    } catch (const Error&) {
+      // The pool refused the task (teardown race).  The queued jobs must
+      // not be abandoned: fail them all with the distinct shutdown error.
+      for (const std::string& tenant : round_robin_) {
+        std::deque<Job>& queue = tenants_[tenant];
+        for (Job& job : queue) {
+          job.promise.set_exception(std::make_exception_ptr(ShutdownError(
+              "solve abandoned: server worker pool is shut down")));
+          ++shutdown_failed_;
+        }
+        queued_ -= queue.size();
+        queue.clear();
+      }
+      round_robin_.clear();
+      idle_cv_.notify_all();
+      return;
+    }
+    free_workers_.pop_back();
+    ++active_pumps_;
+  }
+}
+
+void Server::pump_(int worker) {
+  for (;;) {
+    Job job;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (round_robin_.empty()) {
+        free_workers_.push_back(worker);
+        --active_pumps_;
+        if (queued_ == 0 && active_pumps_ == 0) idle_cv_.notify_all();
+        return;
+      }
+      // Round-robin across tenants: take the head job of the next tenant,
+      // then rotate the tenant to the back if it still has work.
+      const std::string tenant = std::move(round_robin_.front());
+      round_robin_.pop_front();
+      std::deque<Job>& queue = tenants_[tenant];
+      job = std::move(queue.front());
+      queue.pop_front();
+      --queued_;
+      if (!queue.empty()) round_robin_.push_back(tenant);
+    }
+    execute_(job);
+  }
+}
+
+void Server::execute_(Job& job) {
+  try {
+    const Request& req = job.request;
+    Response response;
+    {
+      PlanLease lease = cache_.acquire(req.problem, req.compile);
+
+      // Rebind the observed values unconditionally: a cache hit hands back
+      // a plan carrying whatever values its previous user bound.
+      if (!req.observations.empty()) {
+        lease.plan().set_observations(req.observations);
+      } else {
+        std::vector<double> values;
+        values.reserve(
+            static_cast<std::size_t>(req.problem.constraints.size()));
+        for (const cons::Constraint& c : req.problem.constraints.all()) {
+          values.push_back(c.observed);
+        }
+        lease.plan().set_observations(values);
+      }
+
+      const engine::Result result = lease.plan().solve(req.initial);
+      response.x = result.posterior().x;
+      response.cycles = result.cycles;
+      response.converged = result.converged;
+      response.seconds = result.seconds;
+      response.cache_hit = lease.cache_hit();
+      response.report = result.report;
+      // Lease scope ends here: the warm instance is back in the cache
+      // before the tenant's future wakes, so an immediate follow-up
+      // submission hits instead of compiling a duplicate.
+    }
+    // Count before fulfilling: a tenant that consumes the future and then
+    // reads stats() must already see this solve counted.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+    }
+    job.promise.set_value(std::move(response));
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++failed_;
+    }
+    job.promise.set_exception(std::current_exception());
+  }
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && active_pumps_ == 0; });
+}
+
+void Server::shutdown(bool drain_queued) {
+  const std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  if (shutdown_done_) return;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    accepting_ = false;
+    if (!drain_queued) {
+      // Fail every queued-but-unstarted solve with the distinct shutdown
+      // error; in-flight solves (inside a pump) run to completion.
+      for (const std::string& tenant : round_robin_) {
+        std::deque<Job>& queue = tenants_[tenant];
+        for (Job& job : queue) {
+          job.promise.set_exception(std::make_exception_ptr(ShutdownError(
+              "solve abandoned: server shut down before it started")));
+          ++shutdown_failed_;
+        }
+        queued_ -= queue.size();
+        queue.clear();
+      }
+      round_robin_.clear();
+    }
+    idle_cv_.wait(lock,
+                  [this] { return queued_ == 0 && active_pumps_ == 0; });
+  }
+  pool_.shutdown();
+  shutdown_done_ = true;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.rejected = rejected_;
+    s.shutdown_failed = shutdown_failed_;
+    s.pending = queued_;
+  }
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace phmse::service

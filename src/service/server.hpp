@@ -1,0 +1,169 @@
+// phmse::Server — the multi-tenant solve service (DESIGN.md §10).
+//
+// The paper's premise is compile-once / solve-many: plan compile is cheap
+// and observation-independent, the solve is the steady-state cost.  At
+// service scale many tenants submit molecules from the same structural
+// family (same topology, same constraint structure, fresh measurements),
+// so the Server puts an LRU plan cache in front of Engine::compile and
+// batches the resulting independent solves across a ThreadPool:
+//
+//   * submissions are queued per tenant and dispatched round-robin across
+//     tenants, so one tenant's backlog never starves another's single
+//     request;
+//   * admission is bounded (total and per tenant): past the bound submit()
+//     throws AdmissionError instead of growing the queue without limit;
+//   * each in-flight solve leases its own plan instance from the cache
+//     (plans are single-flight), runs serially on one pool worker — cross-
+//     problem parallelism, no worker ever blocks on another tenant's work
+//     — and returns the warm instance for the next hit;
+//   * shutdown either drains the queue or fails every queued-but-unstarted
+//     submission with ShutdownError; a submission is never abandoned.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/plan_cache.hpp"
+
+namespace phmse::service {
+
+/// Submission rejected by admission control (queue bound reached).
+class AdmissionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Submission rejected, or a queued solve failed, because the server is
+/// shutting down.  Distinct from AdmissionError so callers can retry
+/// elsewhere rather than back off.
+class ShutdownError : public Error {
+ public:
+  using Error::Error;
+};
+
+struct ServerOptions {
+  /// Pool workers executing solves (>= 1).
+  int workers = 2;
+  /// Total idle plan instances the cache retains (see PlanCache).
+  std::size_t plan_cache_capacity = 8;
+  /// Admission bounds: queued-but-unstarted submissions, total and per
+  /// tenant.  Both >= 1.
+  std::size_t max_pending = 256;
+  std::size_t max_pending_per_tenant = 64;
+};
+
+/// One tenant submission: a problem (or a cached family member), compile
+/// options, fresh observed values, and the initial estimate.
+struct Request {
+  engine::Problem problem;
+  engine::CompileOptions compile;
+  /// Observed values to bind before solving, one per problem constraint in
+  /// order.  Empty = use the observed values already in problem.constraints.
+  std::vector<double> observations;
+  /// Initial full-molecule estimate (dimension 3 * num_atoms).
+  linalg::Vector initial;
+};
+
+/// What a tenant gets back.  The posterior mean is copied out of the leased
+/// plan (the plan returns to the cache when the solve finishes, so the
+/// response cannot borrow from it).
+struct Response {
+  linalg::Vector x;  ///< posterior mean, dimension 3 * num_atoms
+  int cycles = 0;
+  bool converged = false;
+  double seconds = 0.0;     ///< solve wall time (excludes queueing)
+  bool cache_hit = false;   ///< plan came from the cache, not a compile
+  core::SolveReport report; ///< per-batch fault-tolerance diagnostics
+};
+
+struct ServerStats {
+  long submitted = 0;
+  long completed = 0;        ///< futures fulfilled with a Response
+  long failed = 0;           ///< futures fulfilled with a solve error
+  long rejected = 0;         ///< submit() refused (admission or shutdown)
+  long shutdown_failed = 0;  ///< queued solves failed by shutdown(false)
+  std::size_t pending = 0;   ///< queued-but-unstarted right now
+  PlanCache::Stats cache;
+};
+
+/// Multi-tenant solve service over one ThreadPool and one PlanCache.
+class Server {
+ public:
+  explicit Server(const ServerOptions& options = {});
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Drains outstanding work (shutdown(true)).
+  ~Server();
+
+  /// Enqueues a solve for `tenant` and returns the future response.
+  /// Validates the request synchronously (decompose recipe present,
+  /// observation count, initial-state dimension) and throws
+  /// AdmissionError / ShutdownError when the queue bound is hit or the
+  /// server is stopping.  The future carries any error the solve itself
+  /// raises.
+  std::future<Response> submit(const std::string& tenant, Request request);
+
+  /// Blocks until every queued and in-flight solve has completed.  New
+  /// submissions remain accepted (this is a checkpoint, not a stop).
+  void drain();
+
+  /// Stops accepting submissions, then either completes the queue
+  /// (`drain_queued` = true) or fails every queued-but-unstarted solve
+  /// with ShutdownError (false; in-flight solves still complete).  Blocks
+  /// until all work has settled and the pool has joined.  Idempotent;
+  /// concurrent callers block until the first call finishes.
+  void shutdown(bool drain_queued = true);
+
+  ServerStats stats() const;
+  int workers() const { return options_.workers; }
+
+ private:
+  struct Job {
+    std::promise<Response> promise;
+    Request request;
+  };
+
+  void pump_(int worker);
+  void execute_(Job& job);
+  /// Spawns pump tasks while work is queued and workers are free; caller
+  /// holds mutex_.  Failures to reach the pool fail the queued jobs with
+  /// ShutdownError rather than leaving them stranded.
+  void arm_pumps_();
+
+  ServerOptions options_;
+  PlanCache cache_;
+  par::ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::unordered_map<std::string, std::deque<Job>> tenants_;
+  std::deque<std::string> round_robin_;  // tenants with queued work, once each
+  std::vector<int> free_workers_;
+  std::size_t queued_ = 0;
+  int active_pumps_ = 0;
+  bool accepting_ = true;
+
+  long submitted_ = 0;
+  long completed_ = 0;
+  long failed_ = 0;
+  long rejected_ = 0;
+  long shutdown_failed_ = 0;
+
+  std::mutex shutdown_mutex_;  // serializes shutdown()
+  bool shutdown_done_ = false;
+};
+
+}  // namespace phmse::service
+
+namespace phmse {
+using service::Server;
+}  // namespace phmse

@@ -1,0 +1,263 @@
+// Concurrency stress for the multi-tenant solve service (DESIGN.md §10).
+// These tests run under ThreadSanitizer in CI (the tsan ctest preset's
+// filter includes Service*): shared-cache solves from concurrent tenants
+// must be bitwise identical to sequential solves, the single-flight guard
+// must catch overlapping solves on one plan, and a shutdown racing a storm
+// of submissions must settle every future.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "constraints/helix_gen.hpp"
+#include "engine/engine.hpp"
+#include "molecule/rna_helix.hpp"
+#include "service/plan_cache.hpp"
+#include "service/server.hpp"
+#include "support/rng.hpp"
+
+namespace phmse::service {
+namespace {
+
+struct Fixture {
+  Index length;
+  mol::HelixModel model;
+  cons::ConstraintSet set;
+  linalg::Vector initial;
+
+  explicit Fixture(Index helix_length = 2)
+      : length(helix_length), model(mol::build_helix(helix_length)) {
+    set = cons::generate_helix_constraints(model);
+    Rng rng(42);
+    initial = model.topology.true_state();
+    for (auto& v : initial) v += rng.gaussian(0.0, 0.3);
+  }
+
+  engine::Problem problem() const {
+    return engine::Problem::custom(
+        model.topology.size(), set,
+        [model = model] { return core::build_helix_hierarchy(model); },
+        "helix/" + std::to_string(length));
+  }
+
+  static engine::CompileOptions options() {
+    engine::CompileOptions o;
+    o.solve.max_cycles = 2;
+    o.solve.prior_sigma = 0.5;
+    return o;
+  }
+
+  std::vector<double> observations(std::uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<double> values;
+    values.reserve(static_cast<std::size_t>(set.size()));
+    for (const cons::Constraint& c : set.all()) {
+      values.push_back(c.observed + rng.gaussian(0.0, 0.01));
+    }
+    return values;
+  }
+
+  Request request(std::uint64_t seed) const {
+    Request r;
+    r.problem = problem();
+    r.compile = options();
+    r.observations = observations(seed);
+    r.initial = initial;
+    return r;
+  }
+};
+
+TEST(ServiceStress, ConcurrentTenantsOnOneCachedPlanMatchSequentialBitwise) {
+  Fixture f;
+  constexpr int kTenants = 3;
+  constexpr int kPerTenant = 4;
+
+  // Sequential references, one fresh compile per observation vector.
+  std::vector<linalg::Vector> want;
+  for (int i = 0; i < kTenants * kPerTenant; ++i) {
+    engine::Plan plan = Engine::compile(f.problem(), Fixture::options());
+    plan.set_observations(f.observations(static_cast<std::uint64_t>(i + 1)));
+    want.push_back(plan.solve(f.initial).posterior().x);
+  }
+
+  ServerOptions opts;
+  opts.workers = 4;
+  opts.plan_cache_capacity = 4;
+  Server server(opts);
+
+  // Each tenant submits from its own thread; all requests share one
+  // fingerprint, so concurrent solves lease instances of the same cached
+  // plan family.
+  std::vector<std::vector<std::future<Response>>> futures(kTenants);
+  {
+    std::vector<std::thread> tenants;
+    tenants.reserve(kTenants);
+    for (int t = 0; t < kTenants; ++t) {
+      tenants.emplace_back([&, t] {
+        for (int i = 0; i < kPerTenant; ++i) {
+          const int id = t * kPerTenant + i;
+          futures[static_cast<std::size_t>(t)].push_back(server.submit(
+              "tenant-" + std::to_string(t),
+              f.request(static_cast<std::uint64_t>(id + 1))));
+        }
+      });
+    }
+    for (auto& th : tenants) th.join();
+  }
+
+  for (int t = 0; t < kTenants; ++t) {
+    for (int i = 0; i < kPerTenant; ++i) {
+      const int id = t * kPerTenant + i;
+      const Response r =
+          futures[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)]
+              .get();
+      const linalg::Vector& expected = want[static_cast<std::size_t>(id)];
+      ASSERT_EQ(r.x.size(), expected.size());
+      for (std::size_t j = 0; j < expected.size(); ++j) {
+        ASSERT_EQ(r.x[j], expected[j])
+            << "tenant " << t << " request " << i << " coord " << j;
+      }
+    }
+  }
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.completed, kTenants * kPerTenant);
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_GT(s.cache.hits, 0);
+}
+
+TEST(ServiceStress, PlanCacheSurvivesConcurrentAcquireRelease) {
+  Fixture f;
+  PlanCache cache(3);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 8;
+  std::atomic<int> solves{0};
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kIters; ++i) {
+          // Two fingerprints churned from all threads.
+          engine::Problem p = f.problem();
+          if ((t + i) % 2 == 0) p.recipe += "/alt";
+          PlanLease lease = cache.acquire(p, Fixture::options());
+          lease.plan().set_observations(
+              f.observations(static_cast<std::uint64_t>(i + 1)));
+          lease.plan().solve(f.initial);
+          solves.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_EQ(solves.load(), kThreads * kIters);
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, kThreads * kIters);
+  EXPECT_LE(s.idle_instances, 3u);
+}
+
+TEST(ServiceStress, SingleFlightGuardCatchesOverlappingSolves) {
+  // A longer helix keeps one solve in flight for many milliseconds, so a
+  // second thread hammering solve() on the SAME plan is guaranteed to
+  // overlap at least once and must be rejected, not corrupt the state.
+  Fixture f(8);
+  engine::Plan plan = Engine::compile(f.problem(), Fixture::options());
+  plan.solve(f.initial);  // warm-up, also the reference run
+  const linalg::Vector want = plan.solve(f.initial).posterior().x;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> rejections{0};  // across both threads: whoever loses
+  std::thread hammer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      try {
+        plan.solve(f.initial);
+      } catch (const Error&) {
+        rejections.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (int i = 0; i < 4; ++i) {
+    try {
+      plan.solve(f.initial);
+    } catch (const Error&) {
+      rejections.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  done.store(true, std::memory_order_release);
+  hammer.join();
+
+  // With two threads spinning on a multi-millisecond solve, overlap — and
+  // therefore at least one rejection on one side or the other — is
+  // certain.
+  EXPECT_GT(rejections.load(), 0);
+
+  // The guard rejected cleanly: the plan still solves, bitwise as before.
+  const linalg::Vector after = plan.solve(f.initial).posterior().x;
+  ASSERT_EQ(after.size(), want.size());
+  for (std::size_t j = 0; j < want.size(); ++j) {
+    ASSERT_EQ(after[j], want[j]) << "coord " << j;
+  }
+}
+
+TEST(ServiceStress, ShutdownRacingSubmissionsSettlesEveryFuture) {
+  Fixture f;
+  for (const bool drain : {true, false}) {
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.max_pending = 1024;
+    opts.max_pending_per_tenant = 1024;
+    auto server = std::make_unique<Server>(opts);
+
+    constexpr int kSubmitters = 3;
+    std::vector<std::vector<std::future<Response>>> futures(kSubmitters);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        std::uint64_t seed = 1;
+        while (!stop.load(std::memory_order_acquire)) {
+          try {
+            futures[static_cast<std::size_t>(t)].push_back(server->submit(
+                "tenant-" + std::to_string(t), f.request(seed++)));
+          } catch (const ShutdownError&) {
+            break;  // server stopped accepting: expected during the race
+          } catch (const AdmissionError&) {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    // Let the storm build, then shut down while submissions are in flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server->shutdown(drain);
+    stop.store(true, std::memory_order_release);
+    for (auto& th : submitters) th.join();
+
+    long settled_ok = 0;
+    long settled_shutdown = 0;
+    for (auto& lane : futures) {
+      for (auto& fut : lane) {
+        try {
+          fut.get();
+          ++settled_ok;
+        } catch (const ShutdownError&) {
+          ++settled_shutdown;
+        }
+        // Any other exception (or a hang) fails the test.
+      }
+    }
+    const ServerStats s = server->stats();
+    EXPECT_EQ(s.pending, 0u);
+    EXPECT_EQ(s.completed, settled_ok);
+    EXPECT_EQ(s.shutdown_failed, settled_shutdown);
+    EXPECT_EQ(s.submitted, settled_ok + settled_shutdown);
+    if (drain) {
+      EXPECT_EQ(settled_shutdown, 0);
+    }
+    server.reset();  // idempotent second shutdown via the destructor
+  }
+}
+
+}  // namespace
+}  // namespace phmse::service
