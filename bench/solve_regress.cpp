@@ -146,6 +146,91 @@ int run_all(const std::string& out_path) {
     records.push_back(prec);
   }
 
+  {
+    // Incremental single-constraint rebind (DESIGN.md §11).  Three paths
+    // over the same nudge, interleaved per round so machine noise hits all
+    // of them the same way; every timed region includes set_observations —
+    // the diff marking is part of each path's cost:
+    //  - full: set_observations + solve() re-runs the whole tree;
+    //  - exact replay: solve_incremental re-executes the dirty leaf's root
+    //    path and replays every sibling (bitwise-identical; reported
+    //    informationally — the root path's constraint re-application caps
+    //    it near 1.6x on this tree shape);
+    //  - fast path: solve_lowrank shifts the checkpointed root mean by
+    //    C.H^T.R^-1.dz from the archived Jacobian row — O(k n) per rebind,
+    //    first-order accurate, exact fallback whenever it cannot answer.
+    // The fast path is what a caller uses for repeated single-slot
+    // rebinds, so it is the committed plan_solve_incremental row;
+    // scripts/bench_check.py gates plan_solve_steady /
+    // plan_solve_incremental >= 3x.
+    engine::Plan full_plan = make_helix_plan(p, 1);
+    engine::Plan inc_plan = make_helix_plan(p, 1);
+    engine::Plan lr_plan = make_helix_plan(p, 1);
+
+    std::vector<double> base;
+    base.reserve(static_cast<std::size_t>(m));
+    for (const cons::Constraint& c : p.constraints.all()) {
+      base.push_back(c.observed);
+    }
+    std::vector<double> nudged = base;
+    nudged[0] += 1e-3;
+
+    full_plan.solve(p.initial);  // warm-up
+    inc_plan.solve(p.initial);   // warm-up; forms the checkpoint
+    lr_plan.solve(p.initial);    // warm-up; checkpoint + Jacobian archive
+
+    const int rounds = smoke ? 96 : 64;
+    double best_full = 1e300;
+    double best_inc = 1e300;
+    double best_lr = 1e300;
+    long reused = 0;
+    long recomputed = 0;
+    bool all_low_rank = true;
+    for (int r = 0; r < rounds; ++r) {
+      // Alternate the two vectors so every rebind changes exactly one
+      // slot bitwise (a repeat of the same vector would be a no-op).
+      const std::vector<double>& values = (r % 2 == 0) ? nudged : base;
+      Stopwatch sf;
+      full_plan.set_observations(values);
+      full_plan.solve(p.initial);
+      best_full = std::min(best_full, sf.seconds());
+      Stopwatch si;
+      inc_plan.set_observations(values);
+      const engine::Result ir = inc_plan.solve_incremental(p.initial);
+      best_inc = std::min(best_inc, si.seconds());
+      reused = ir.report.nodes_reused;
+      recomputed = ir.report.nodes_recomputed;
+      Stopwatch sl;
+      lr_plan.set_observations(values);
+      const engine::Result lr = lr_plan.solve_lowrank(p.initial);
+      best_lr = std::min(best_lr, sl.seconds());
+      all_low_rank = all_low_rank && lr.report.low_rank;
+    }
+    if (!all_low_rank) {
+      std::printf("  WARNING: a solve_lowrank round fell back to the exact "
+                  "path; the incremental row is not timing the shortcut\n");
+    }
+
+    std::printf(
+        "  %-18s %9.3f ms  (exact replay: %.1fx over full %.3f ms, "
+        "%ld nodes reused / %ld recomputed)\n",
+        "plan_solve_exact", best_inc * 1e3, best_full / best_inc,
+        best_full * 1e3, reused, recomputed);
+
+    KernelBenchRecord rec;
+    rec.kernel = "plan_solve_incremental";
+    rec.impl = "engine";
+    rec.m = m;
+    rec.n = n;
+    rec.threads = 1;
+    rec.reps = rounds;
+    rec.seconds = best_lr;
+    std::printf(
+        "  %-18s %9.3f ms  (low-rank fast path, %.1fx over full re-solve)\n",
+        "plan_solve_incremental", best_lr * 1e3, best_full / best_lr);
+    records.push_back(rec);
+  }
+
   write_kernel_bench_json(out_path, records);
   std::printf("\nwrote %zu records to %s\n", records.size(),
               out_path.c_str());

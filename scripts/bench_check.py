@@ -39,6 +39,14 @@ analogue: wherever a service document contains both a cold and a warm row
 for the same configuration, warm solves/sec must be at least FACTOR times
 cold solves/sec (DESIGN.md §10 — the plan cache must pay for itself).
 
+--min-incremental-speedup [FACTOR] (default 3.0 when given) gates the
+incremental rebind fast path: wherever a kernel document contains both a
+plan_solve_steady and a plan_solve_incremental row for the same
+configuration, the incremental row must be at least FACTOR times faster
+(DESIGN.md §11 — a single-constraint rebind takes the low-rank root
+shift, O(k n) against the full tree's dense sweeps, falling back to the
+exact dirty-subtree replay only when it cannot answer).
+
 Both intra-document rows come from the same interleaved run on the same
 machine, so unlike the cross-run baseline comparison these checks are
 meaningful at any scale and are NOT silenced by --report-only.
@@ -66,6 +74,10 @@ KNOWN_KERNELS = {
     # (retry + gating); plan_solve_policy / plan_solve_steady is the
     # robustness overhead gated by --max-robustness-overhead.
     "plan_solve_policy",
+    # Single-constraint dirty-subtree re-solve (DESIGN.md §11);
+    # plan_solve_steady / plan_solve_incremental is the speedup gated by
+    # --min-incremental-speedup.
+    "plan_solve_incremental",
 }
 KNOWN_IMPLS = {"blocked", "ref", "engine"}
 KNOWN_MODES = {"cold", "warm"}
@@ -210,6 +222,46 @@ def check_robustness_overhead(doc, path, max_overhead):
     return violations
 
 
+def check_incremental_speedup(doc, path, min_speedup):
+    """Intra-document plan_solve_incremental vs plan_solve_steady gate.
+
+    Returns the number of violations.  Both rows come from the same
+    interleaved run in the same process (bench/solve_regress); the
+    incremental row rebinds one constraint and re-solves via the low-rank
+    fast path (solve_lowrank), so steady / incremental is the rebind
+    payoff independent of the machine's absolute speed.
+    """
+    if is_service(doc):
+        print(f"bench_check: note: {path} is a service document; "
+              "incremental speedup not checked")
+        return 0
+
+    def config(rec):
+        return (rec["impl"], rec["m"], rec["n"], rec["threads"])
+
+    steady = {config(r): r for r in doc["results"]
+              if r["kernel"] == "plan_solve_steady"}
+    incremental = {config(r): r for r in doc["results"]
+                   if r["kernel"] == "plan_solve_incremental"}
+    violations = 0
+    checked = 0
+    for cfg in sorted(steady.keys() & incremental.keys()):
+        checked += 1
+        speedup = steady[cfg]["seconds"] / incremental[cfg]["seconds"]
+        tag = "{} m={} n={} t={}".format(*cfg)
+        if speedup < min_speedup:
+            violations += 1
+            verdict = "REGRESS"
+        else:
+            verdict = "ok"
+        print("  {:8s} incremental speedup {} {:.2f}x (floor {:.2f}x)"
+              .format(verdict, tag, speedup, min_speedup))
+    if not checked:
+        print(f"bench_check: note: {path} has no steady/incremental row "
+              "pair; incremental speedup not checked")
+    return violations
+
+
 def check_warm_speedup(doc, path, min_speedup):
     """Intra-document warm vs cold throughput gate for service documents.
 
@@ -316,6 +368,12 @@ def main():
                          "solves/sec within a service document "
                          "(default 5.0 when the flag is given); "
                          "not silenced by --report-only")
+    ap.add_argument("--min-incremental-speedup", metavar="FACTOR",
+                    type=float, nargs="?", const=3.0, default=None,
+                    help="fail if plan_solve_incremental is not at least "
+                         "FACTOR times faster than plan_solve_steady within "
+                         "a kernel document (default 3.0 when the flag is "
+                         "given); not silenced by --report-only")
     args = ap.parse_args()
 
     if args.max_robustness_overhead is not None \
@@ -323,6 +381,9 @@ def main():
         ap.error("--max-robustness-overhead must be >= 0")
     if args.min_warm_speedup is not None and args.min_warm_speedup < 1:
         ap.error("--min-warm-speedup must be >= 1")
+    if args.min_incremental_speedup is not None \
+            and args.min_incremental_speedup < 1:
+        ap.error("--min-incremental-speedup must be >= 1")
 
     if args.validate:
         doc = load(args.validate)
@@ -334,6 +395,9 @@ def main():
         if args.min_warm_speedup is not None:
             bad += check_warm_speedup(doc, args.validate,
                                       args.min_warm_speedup)
+        if args.min_incremental_speedup is not None:
+            bad += check_incremental_speedup(doc, args.validate,
+                                             args.min_incremental_speedup)
         if bad:
             print(f"bench_check: {bad} intra-document violation(s)")
             return 1
@@ -369,6 +433,9 @@ def main():
     if args.min_warm_speedup is not None:
         intra_violations += check_warm_speedup(
             current, args.current, args.min_warm_speedup)
+    if args.min_incremental_speedup is not None:
+        intra_violations += check_incremental_speedup(
+            current, args.current, args.min_incremental_speedup)
     if intra_violations:
         print(f"bench_check: {intra_violations} intra-document violation(s)")
 

@@ -8,6 +8,8 @@ namespace {
 
 HierSolveResult to_result(SolvePlan&& plan, const PlanRunStats& stats) {
   HierSolveResult result;
+  // The report's incremental counters always read "full run" here: a
+  // transient plan has no checkpoint to reuse (see the header comment).
   result.report = plan.last_report();  // before the state is moved out
   result.state = plan.take_root_state();
   result.cycles = stats.cycles;

@@ -5,7 +5,10 @@
 // transient plan, executes it, and returns the root posterior.  Code that
 // solves repeatedly — parameter sweeps, speedup studies, serving — should
 // compile a plan once (or use the phmse::Engine facade) and re-run it, which
-// skips all per-call setup and allocation.
+// skips all per-call setup and allocation.  Checkpoints never form here:
+// the transient plan is destroyed after its single run, so the incremental
+// dirty-subtree path (SolvePlan::run_incremental, DESIGN.md §11) only pays
+// off on a retained plan — exactly why online callers should hold one.
 //
 // Three execution modes share the plan's single update path:
 //   * solve_hierarchical          — any ExecContext (serial baseline);

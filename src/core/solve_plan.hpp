@@ -17,8 +17,18 @@
 // node then runs the Fig.-1 update over its assigned constraints.  All
 // three execution modes apply constraints in the same order and therefore
 // produce bitwise-identical numerics.
+// Incremental re-solve (DESIGN.md §11): the persistent per-node states
+// double as checkpoints.  Engine::set_observations marks the nodes whose
+// observed values actually changed; run_incremental() then re-executes only
+// those nodes, any leaf whose initial-state slice changed bitwise, and
+// their ancestor paths, while every clean subtree's posterior is reused
+// in place.  The result is bitwise identical to a from-scratch run on all
+// three executors (tests/incremental_property_test.cpp pins this).
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/hierarchy.hpp"
@@ -66,12 +76,34 @@ struct SimSolveResult {
   perf::Profile breakdown;
 };
 
+/// One changed observation for try_run_lowrank: the constraint's owning
+/// node in the compiled hierarchy, its index within that node's constraint
+/// list (sweep order), and the observed value the last completed run
+/// applied (old) next to the currently bound one (new).
+struct LowRankChange {
+  const HierNode* node = nullptr;
+  Index index = 0;
+  double old_observed = 0.0;
+  double new_observed = 0.0;
+};
+
 /// Cycle statistics of one plan execution (the root posterior stays inside
 /// the plan; read it with root_state()).
 struct PlanRunStats {
   int cycles = 0;
   double last_cycle_delta = 0.0;
   bool converged = false;
+  /// True when the run executed the incremental dirty schedule (a valid
+  /// checkpoint existed and the run was requested via run*_incremental).
+  bool incremental = false;
+  /// True when the run was a low-rank perturbative update of the root
+  /// posterior (try_run_lowrank) instead of any tree traversal.
+  bool low_rank = false;
+  /// Node executions this run: the cycle-1 dirty path plus every node on
+  /// later cycles.  A full run counts every node once per cycle.
+  long nodes_recomputed = 0;
+  /// Cycle-1 nodes served from their checkpoint instead of re-executing.
+  long nodes_reused = 0;
 };
 
 /// A compiled, repeatedly-executable hierarchical solve.
@@ -115,8 +147,76 @@ class SolvePlan {
   PlanRunStats run_threaded(par::ThreadPool& pool,
                             const linalg::Vector& initial_x);
 
+  /// Incremental variants of run / run_sim / run_threaded (DESIGN.md §11).
+  ///
+  /// When the plan holds a valid checkpoint — the previous run completed in
+  /// a single cycle — only the dirty nodes (observations changed via
+  /// mark_constraint_dirty, or a leaf's `initial_x` slice changed bitwise)
+  /// and their ancestor paths are re-executed; every other node's persisted
+  /// posterior is reused in place and its saved sweep tally is replayed
+  /// into the report.  Without a valid checkpoint the call silently
+  /// degrades to a full run (PlanRunStats::incremental stays false).
+  /// Either way the posterior and the report are bitwise identical to the
+  /// corresponding full run.
+  PlanRunStats run_incremental(par::ExecContext& ctx,
+                               const linalg::Vector& initial_x);
+  PlanRunStats run_sim_incremental(simarch::SimMachine& machine,
+                                   const linalg::Vector& initial_x);
+  PlanRunStats run_threaded_incremental(par::ThreadPool& pool,
+                                        const linalg::Vector& initial_x);
+
+  /// Marks `node`'s compiled workspace observation-dirty: the next
+  /// incremental run re-executes it and its ancestor path.  `node` must
+  /// belong to the hierarchy this plan was compiled from.
+  void mark_constraint_dirty(const HierNode* node);
+
+  /// Low-rank perturbative re-solve (DESIGN.md §11; the "fast Kalman filter
+  /// with low-rank perturbative approach" trick from PAPERS.md).  Instead of
+  /// re-executing the dirty path — whose root-ward nodes re-apply EVERY one
+  /// of their constraint batches at O(n^2) per constraint — the k changed
+  /// observations are folded directly into the checkpointed root posterior
+  /// as one rank-k mean shift.  Retracting a measurement and re-adding it
+  /// with the same Jacobian and noise cancels exactly in information space,
+  /// and the (I - K H) damping chain of every batch applied after it
+  /// telescopes to C_post, so the sweep's sensitivity to one observed value
+  /// is exactly
+  ///
+  ///   dx = C_root H_j^T R_j^{-1} (z_new - z_old),   C unchanged,
+  ///
+  /// with H_j the constraint's ARCHIVED row (BatchUpdater::applied_row) —
+  /// the original linearization, embedded lower in the tree.  Cost is
+  /// O(k n) total, no factorization.  For nonlinear constraints the frozen
+  /// linearization makes the result a first-order (EKF) approximation, NOT
+  /// bitwise-exact — callers who need the bitwise guarantee use
+  /// run_incremental instead.
+  ///
+  /// Preconditions: a single-cycle checkpoint exists, `initial_x` is
+  /// bitwise the checkpoint's initial state, every change resolves to a
+  /// plan node with an archived applied row, the inputs are finite, and —
+  /// under an outlier-gating policy — no change is large enough that the
+  /// exact path might gate it.  On any precondition failure the function
+  /// returns false and the caller must fall back to run_incremental — the
+  /// changed nodes (and the root) remain marked dirty, so the fallback
+  /// rebuilds every state the attempt may have touched.
+  bool try_run_lowrank(par::ExecContext& ctx, const linalg::Vector& initial_x,
+                       std::span<const LowRankChange> changes,
+                       PlanRunStats* stats);
+
+  /// True when the persisted per-node states form a reusable checkpoint
+  /// (the last run completed successfully in a single cycle).  Cleared at
+  /// the start of every run — an exception mid-run leaves mixed states —
+  /// and re-established when the run completes.
+  bool has_checkpoint() const { return has_checkpoint_; }
+
+  /// Nodes currently marked observation-dirty (before ancestor
+  /// propagation, which happens when the next incremental run starts).
+  std::size_t num_dirty_nodes() const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
   /// Re-derives the inline/remote child partition from the hierarchy's
-  /// current proc_first/proc_count values.
+  /// current proc_first/proc_count values.  Checkpoints stay valid: the
+  /// schedule changes which lane executes a node, never its numerics.
   void refresh_schedule();
 
   /// The root posterior of the most recent run.
@@ -140,6 +240,8 @@ class SolvePlan {
   const Hierarchy& hierarchy() const { return *hierarchy_; }
 
  private:
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
   /// One hierarchy node's compiled workspace.  `children` and the
   /// inline/remote partition index into nodes_ (which is stored post-order,
   /// so children always precede their parent).
@@ -150,26 +252,70 @@ class SolvePlan {
     std::vector<std::size_t> children;
     std::vector<std::size_t> inline_children;
     std::vector<std::size_t> remote_children;
+    /// Post-order index of the parent node; kNoParent for the root.  Used
+    /// to propagate dirtiness up the ancestor path in one ascending pass.
+    std::size_t parent = kNoParent;
     perf::Profile profile;
     /// Batch tally of the current run; only this node's executor lane
     /// writes it, so no synchronization is needed until the post-join
     /// aggregation into the plan's SolveReport.
     est::NodeReport report;
+    /// Tally of this node's most recent executed sweep (one cycle).  When
+    /// an incremental run skips the node, this saved tally is replayed into
+    /// `report` — determinism guarantees a re-execution would tally
+    /// identically, so the aggregated SolveReport stays bitwise equal to a
+    /// from-scratch solve.
+    est::NodeReport sweep_report;
   };
 
   std::size_t build_(HierNode& node);
   void assemble_from_children_(par::ExecContext& ctx, NodeWork& w);
+  void assemble_dirty_children_(par::ExecContext& ctx, NodeWork& w);
   void update_node_(par::ExecContext& ctx, NodeWork& w,
                     const linalg::Vector& x0);
   void run_threaded_node_(par::ThreadPool& pool, std::size_t index,
                           const linalg::Vector& x0);
+  void prepare_schedule_(const linalg::Vector& initial_x, bool incremental);
+  PlanRunStats run_impl_(par::ExecContext& ctx, const linalg::Vector& initial_x,
+                         bool want_incremental);
+  PlanRunStats run_sim_impl_(simarch::SimMachine& machine,
+                             const linalg::Vector& initial_x,
+                             bool want_incremental);
+  PlanRunStats run_threaded_impl_(par::ThreadPool& pool,
+                                  const linalg::Vector& initial_x,
+                                  bool want_incremental);
   template <typename PassFn>
-  PlanRunStats run_cycles_(const linalg::Vector& initial_x, PassFn&& pass);
+  PlanRunStats run_cycles_(const linalg::Vector& initial_x,
+                           bool want_incremental, PassFn&& pass);
 
   Hierarchy* hierarchy_ = nullptr;
   HierSolveOptions options_;
   std::vector<NodeWork> nodes_;  // post-order; root last
+  /// Post-order index of each hierarchy node, for mark_constraint_dirty.
+  std::unordered_map<const HierNode*, std::size_t> node_index_;
+  /// Observation-dirty flags fed by mark_constraint_dirty; drained when a
+  /// run completes.  Preallocated — marking and clearing never allocate.
+  std::vector<unsigned char> dirty_;
+  /// Cycle-1 execution mask of the current run: dirty nodes, changed
+  /// leaves, and their ancestor paths (everything on a full run).  Written
+  /// by prepare_schedule_ before the executor starts, read-only during the
+  /// pass, so worker lanes race with nothing.
+  std::vector<unsigned char> exec_;
+  /// True while the executor runs cycle 1 of an incremental schedule; the
+  /// passes skip unmasked nodes only in that window.  Written between
+  /// pass() calls on the coordinating thread (the pool submit/join pair
+  /// orders it for worker lanes).
+  bool cycle_incremental_ = false;
+  bool has_checkpoint_ = false;
+  /// True while a low-rank attempt has partially mutated the root state
+  /// (set on entry, cleared on success).  A subsequent low-rank call
+  /// refuses until an exact run has rebuilt the root.
+  bool lowrank_in_progress_ = false;
+  /// The initial state of the last completed single-cycle run; leaves whose
+  /// slice differs bitwise from the incoming initial_x are re-executed.
+  linalg::Vector last_initial_;
   linalg::Vector prev_x_;        // previous cycle's root state
+  linalg::Vector lowrank_dx_;    // try_run_lowrank mean-shift scratch
   perf::Profile threaded_profile_;
   SolveReport report_;           // aggregated after every run
 };

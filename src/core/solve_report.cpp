@@ -30,6 +30,11 @@ std::string SolveReport::summary() const {
   if (gated > 0) os << ", " << gated << " gated";
   if (skipped > 0) os << ", " << skipped << " skipped";
   if (failed > 0) os << ", " << failed << " failed";
+  if (incremental) {
+    os << "; incremental: " << nodes_reused << " nodes reused, "
+       << nodes_recomputed << " recomputed";
+    if (low_rank) os << " (low-rank root update)";
+  }
   return os.str();
 }
 

@@ -47,6 +47,17 @@ struct SolveReport {
   int max_attempts = 0;
   /// Largest Tikhonov term any applied batch needed.
   double max_regularization = 0.0;
+  /// Incremental-execution accounting (DESIGN.md §11).  `nodes_recomputed`
+  /// counts node executions this run (the cycle-1 dirty path plus every
+  /// node on later cycles); `nodes_reused` counts cycle-1 nodes served from
+  /// their checkpoint.  A full run counts every node as recomputed;
+  /// `incremental` marks runs that executed the dirty schedule.
+  long nodes_recomputed = 0;
+  long nodes_reused = 0;
+  bool incremental = false;
+  /// True when the run was the low-rank perturbative root update (first-
+  /// order, NOT bitwise-equal to a from-scratch solve; DESIGN.md §11).
+  bool low_rank = false;
   std::vector<SolveIncident> incidents;
 
   /// True when every batch applied on its first factorization attempt.
@@ -62,6 +73,9 @@ struct SolveReport {
     batches = ok = retried = gated = skipped = failed = 0;
     max_attempts = 0;
     max_regularization = 0.0;
+    nodes_recomputed = nodes_reused = 0;
+    incremental = false;
+    low_rank = false;
     incidents.clear();  // keeps capacity — no alloc on the next clean run
   }
 

@@ -1,6 +1,8 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -139,6 +141,11 @@ Plan Engine::compile(const Problem& problem, const CompileOptions& options) {
   core::assign_constraints(*plan.hierarchy_, problem.constraints,
                            plan.slots_);
   plan.timings_.assign_seconds = phase.seconds();
+  // The pending-change ledger and its rank-k work-list are capped at
+  // kMaxPendingChanges entries; reserving them here keeps set_observations
+  // and solve_lowrank off the heap in the steady state.
+  plan.pending_.reserve(Plan::kMaxPendingChanges);
+  plan.changes_scratch_.reserve(Plan::kMaxPendingChanges);
 
   plan.work_model_ = options.work_model;
   if (options.calibrate_work_model) {
@@ -205,6 +212,7 @@ Result Plan::solve(par::ExecContext& ctx, const linalg::Vector& initial_x) {
   const core::PlanRunStats stats = plan_->run(ctx, initial_x);
   Result r = make_result(*plan_, stats, sw.seconds());
   r.breakdown = ctx.profile().minus(before);
+  clear_pending_();
   return r;
 }
 
@@ -214,6 +222,7 @@ Result Plan::solve(par::ThreadPool& pool, const linalg::Vector& initial_x) {
   const core::PlanRunStats stats = plan_->run_threaded(pool, initial_x);
   Result r = make_result(*plan_, stats, sw.seconds());
   r.breakdown = plan_->threaded_profile();
+  clear_pending_();
   return r;
 }
 
@@ -225,7 +234,88 @@ Result Plan::solve(simarch::SimMachine& machine,
   Result r = make_result(*plan_, stats, sw.seconds());
   r.vtime = machine.elapsed();
   r.breakdown = machine.reported_profile();
+  clear_pending_();
   return r;
+}
+
+Result Plan::solve_incremental(const linalg::Vector& initial_x) {
+  return solve_incremental(serial_, initial_x);
+}
+
+Result Plan::solve_incremental(par::ExecContext& ctx,
+                               const linalg::Vector& initial_x) {
+  const SolveFlight flight(*in_solve_);
+  const perf::Profile before = ctx.profile();
+  Stopwatch sw;
+  const core::PlanRunStats stats = plan_->run_incremental(ctx, initial_x);
+  Result r = make_result(*plan_, stats, sw.seconds());
+  r.breakdown = ctx.profile().minus(before);
+  clear_pending_();
+  return r;
+}
+
+Result Plan::solve_incremental(par::ThreadPool& pool,
+                               const linalg::Vector& initial_x) {
+  const SolveFlight flight(*in_solve_);
+  Stopwatch sw;
+  const core::PlanRunStats stats =
+      plan_->run_threaded_incremental(pool, initial_x);
+  Result r = make_result(*plan_, stats, sw.seconds());
+  r.breakdown = plan_->threaded_profile();
+  clear_pending_();
+  return r;
+}
+
+Result Plan::solve_incremental(simarch::SimMachine& machine,
+                               const linalg::Vector& initial_x) {
+  const SolveFlight flight(*in_solve_);
+  Stopwatch sw;
+  const core::PlanRunStats stats =
+      plan_->run_sim_incremental(machine, initial_x);
+  Result r = make_result(*plan_, stats, sw.seconds());
+  r.vtime = machine.elapsed();
+  r.breakdown = machine.reported_profile();
+  clear_pending_();
+  return r;
+}
+
+Result Plan::solve_lowrank(const linalg::Vector& initial_x) {
+  {
+    const SolveFlight flight(*in_solve_);
+    if (!pending_.empty() && !pending_overflow_) {
+      // Materialize the rank-k work-list: each changed slot's owning node
+      // and in-node index (resolving its archived Jacobian row), the value
+      // the last completed solve applied, and the currently bound one.
+      changes_scratch_.clear();
+      changes_scratch_.reserve(pending_.size());
+      for (const PendingChange& p : pending_) {
+        const core::AssignedSlot& slot = slots_[p.slot];
+        changes_scratch_.push_back(
+            {slot.node, slot.index, p.old_observed,
+             slot.node->constraints[slot.index].observed});
+      }
+      const perf::Profile before = serial_.profile();
+      Stopwatch sw;
+      core::PlanRunStats stats;
+      if (plan_->try_run_lowrank(serial_, initial_x, changes_scratch_,
+                                 &stats)) {
+        Result r = make_result(*plan_, stats, sw.seconds());
+        r.breakdown = serial_.profile().minus(before);
+        pending_.clear();
+        pending_overflow_ = false;
+        return r;
+      }
+    }
+  }  // release the single-flight guard before the fallback re-enters it
+  // Exact fallback: the changed slots already marked their nodes dirty, so
+  // the incremental path (itself falling back to a full run when no
+  // checkpoint is valid) gives the bitwise-reproducible answer.
+  return solve_incremental(serial_, initial_x);
+}
+
+void Plan::clear_pending_() {
+  pending_.clear();
+  pending_overflow_ = false;
 }
 
 void Plan::reschedule(int processors) {
@@ -266,7 +356,39 @@ void Plan::set_observations(std::span<const double> values) {
                      std::to_string(slot.index) + ")") +
           "; the hierarchy's constraint lists were mutated after compile");
     }
+  }
+  // Every slot validated; now diff-and-write.  Only slots whose bit pattern
+  // actually changes are written and mark their node dirty (bitwise compare
+  // so +/-0 and NaN rebinds are handled exactly): rebinding an identical
+  // vector leaves the dirty set empty and the next solve_incremental
+  // re-executes nothing.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const core::AssignedSlot& slot = slots_[i];
+    const double current = slot.node->constraints[slot.index].observed;
+    if (std::bit_cast<std::uint64_t>(current) ==
+        std::bit_cast<std::uint64_t>(values[i])) {
+      continue;
+    }
+    // Record the outgoing value for solve_lowrank's retraction.  First
+    // change per slot wins: across chained rebinds the retraction must
+    // remove the value the last completed solve actually applied, not an
+    // intermediate one that never reached the posterior.
+    bool tracked = false;
+    for (const PendingChange& p : pending_) {
+      if (p.slot == i) {
+        tracked = true;
+        break;
+      }
+    }
+    if (!tracked) {
+      if (pending_.size() < kMaxPendingChanges) {
+        pending_.push_back({i, current});
+      } else {
+        pending_overflow_ = true;  // too many for rank-k; exact path only
+      }
+    }
     slot.node->constraints.set_observed(slot.index, values[i]);
+    plan_->mark_constraint_dirty(slot.node);
   }
 }
 

@@ -151,6 +151,62 @@ class Plan {
   /// breakdown carry the virtual timing.
   Result solve(simarch::SimMachine& machine, const linalg::Vector& initial_x);
 
+  /// Incremental re-solve (DESIGN.md §11): re-executes only the nodes whose
+  /// observations changed since the last completed run (tracked by
+  /// set_observations), leaves whose `initial_x` slice changed bitwise, and
+  /// their ancestor paths; every other subtree's checkpointed posterior is
+  /// reused in place.  Falls back to a full solve — same answer,
+  /// Result::report.incremental stays false — when no checkpoint is valid
+  /// (first solve on a fresh plan, a previous run that aborted, or a
+  /// previous run that took more than one cycle).  On every executor the
+  /// posterior and report are bitwise identical to the matching solve().
+  Result solve_incremental(const linalg::Vector& initial_x);
+  Result solve_incremental(par::ExecContext& ctx,
+                           const linalg::Vector& initial_x);
+  Result solve_incremental(par::ThreadPool& pool,
+                           const linalg::Vector& initial_x);
+  Result solve_incremental(simarch::SimMachine& machine,
+                           const linalg::Vector& initial_x);
+
+  /// Low-rank perturbative re-solve (DESIGN.md §11): when only k observation
+  /// values changed since the last completed single-cycle run, fold them
+  /// into the checkpointed root posterior as one rank-k Kalman shift —
+  /// retract-plus-reapply with a shared Jacobian cancels in information
+  /// space, so the mean moves by C·Hᵀ·R⁻¹·(z_new − z_old) and the
+  /// covariance stays put, in O(k·n) instead of re-running every root-path
+  /// constraint at O(n²) each.  H here is each constraint's ARCHIVED
+  /// Jacobian row from its original linearization during the
+  /// checkpoint-forming sweep — the sensitivity identity telescopes
+  /// exactly through the hierarchy only for that row, not for a fresh
+  /// relinearization.  The result is a first-order (extended-Kalman)
+  /// approximation whose error is linear in the observation change, NOT
+  /// bitwise identical to a from-scratch solve; Result::report.low_rank
+  /// marks it.  Falls back to
+  /// solve_incremental — exact, and itself falling back to a full solve
+  /// when no checkpoint exists — whenever the fast path cannot give a
+  /// principled answer: no pending changes, more than 64 changed slots,
+  /// a changed initial_x, a multi-cycle plan, non-finite inputs, or a
+  /// change so large an outlier-gating policy might drop it on the exact
+  /// path.  Serial only (the root shift is one node's work; there is
+  /// nothing to parallelize).  A later exact solve of any kind restores
+  /// the bitwise-reproducible baseline: the changed nodes and the root
+  /// stay dirty until one runs.
+  Result solve_lowrank(const linalg::Vector& initial_x);
+
+  /// True when the plan's per-node states form a reusable checkpoint (the
+  /// last run completed in a single cycle).
+  bool has_checkpoint() const { return plan_->has_checkpoint(); }
+
+  /// Nodes marked observation-dirty by set_observations since the last
+  /// completed run (ancestor propagation happens at solve time).
+  std::size_t pending_dirty_nodes() const { return plan_->num_dirty_nodes(); }
+
+  /// Observation slots whose value changed since the last completed solve
+  /// (the retraction work-list of solve_lowrank).  Saturates: past 64
+  /// distinct slots the count stops growing and solve_lowrank falls back
+  /// to the exact path.
+  std::size_t pending_observation_changes() const { return pending_.size(); }
+
   /// Recomputes the §4.3 schedule for a new processor count; the same plan
   /// then serves speedup sweeps without re-compiling.
   void reschedule(int processors);
@@ -161,7 +217,13 @@ class Plan {
   /// does not match num_observation_slots() or any compiled slot no longer
   /// resolves to a live constraint (e.g. a node's constraint list was
   /// mutated behind the plan's back) — a mismatch must never silently bind
-  /// values to the wrong constraints.
+  /// values to the wrong constraints; validation completes before any
+  /// value is written, so a failed rebind leaves the plan untouched.
+  ///
+  /// Dirty tracking: only slots whose value actually changes (bitwise;
+  /// a NaN is conservatively treated as a change) mark their node dirty
+  /// for solve_incremental.  Rebinding an identical vector is a no-op and
+  /// leaves the dirty set empty.
   void set_observations(std::span<const double> values);
 
   /// Number of values set_observations expects: one per constraint of the
@@ -196,6 +258,21 @@ class Plan {
     std::atomic<bool>& busy_;
   };
 
+  /// One observation slot whose value changed since the last completed
+  /// solve, with the value the last solve actually applied (what
+  /// solve_lowrank must retract).  First change per slot wins: chained
+  /// rebinds between solves must retract the committed value, not an
+  /// intermediate one that never reached the posterior.
+  struct PendingChange {
+    std::size_t slot = 0;
+    double old_observed = 0.0;
+  };
+  /// Above this many distinct changed slots a rank-k update stops being
+  /// cheaper than the exact dirty-path re-solve; solve_lowrank falls back.
+  static constexpr std::size_t kMaxPendingChanges = 64;
+
+  void clear_pending_();
+
   std::unique_ptr<core::Hierarchy> hierarchy_;
   std::vector<core::AssignedSlot> slots_;
   std::unique_ptr<core::SolvePlan> plan_;
@@ -203,6 +280,13 @@ class Plan {
   core::WorkModel work_model_;
   int processors_ = 1;
   CompileTimings timings_;
+  /// Retraction work-list fed by set_observations, consumed (or abandoned
+  /// to the exact path) by the next completed solve.
+  std::vector<PendingChange> pending_;
+  bool pending_overflow_ = false;
+  /// Scratch work-list for try_run_lowrank (kept to amortize its
+  /// allocation across repeated low-rank solves).
+  std::vector<core::LowRankChange> changes_scratch_;
   /// Single-flight guard; boxed so the Plan stays movable (moving a plan
   /// with a solve in flight is a caller bug the guard also catches).
   std::unique_ptr<std::atomic<bool>> in_solve_ =

@@ -136,6 +136,24 @@ struct NodeReport {
     incidents.clear();
   }
 
+  /// Folds another tally into this one.  Used by the incremental solve to
+  /// replay a checkpointed node's saved sweep tally without re-executing
+  /// the sweep (core::SolvePlan, DESIGN.md §11).
+  void merge_from(const NodeReport& other) {
+    batches += other.batches;
+    ok += other.ok;
+    retried += other.retried;
+    gated += other.gated;
+    skipped += other.skipped;
+    failed += other.failed;
+    if (other.max_attempts > max_attempts) max_attempts = other.max_attempts;
+    if (other.max_regularization > max_regularization) {
+      max_regularization = other.max_regularization;
+    }
+    incidents.insert(incidents.end(), other.incidents.begin(),
+                     other.incidents.end());
+  }
+
   void record(Index batch_index, const BatchOutcome& out) {
     ++batches;
     switch (out.status) {

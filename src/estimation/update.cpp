@@ -1,5 +1,6 @@
 #include "estimation/update.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "estimation/fault_injection.hpp"
@@ -188,6 +189,36 @@ BatchOutcome BatchUpdater::apply(par::ExecContext& ctx, NodeState& state,
   return out;
 }
 
+bool BatchUpdater::applied_row(Index i, std::span<const Index>& cols,
+                               std::span<const double>& vals) const {
+  if (i < 0 || i >= static_cast<Index>(arch_len_.size())) return false;
+  const int len = arch_len_[static_cast<std::size_t>(i)];
+  if (len < 0) return false;
+  const std::size_t base = static_cast<std::size_t>(i) *
+                           static_cast<std::size_t>(kMaxRowNnz);
+  cols = {arch_cols_.data() + base, static_cast<std::size_t>(len)};
+  vals = {arch_vals_.data() + base, static_cast<std::size_t>(len)};
+  return true;
+}
+
+void BatchUpdater::archive_batch_(Index start, Index len, bool applied) {
+  for (Index r = 0; r < len; ++r) {
+    const auto i = static_cast<std::size_t>(start + r);
+    if (!applied) {
+      arch_len_[i] = -1;
+      continue;
+    }
+    const std::span<const Index> cols = h_.row_indices(r);
+    const std::span<const double> vals = h_.row_values(r);
+    PHMSE_CHECK(static_cast<Index>(cols.size()) <= kMaxRowNnz,
+                "constraint Jacobian row wider than the archive stride");
+    const std::size_t base = i * static_cast<std::size_t>(kMaxRowNnz);
+    std::copy(cols.begin(), cols.end(), arch_cols_.begin() + base);
+    std::copy(vals.begin(), vals.end(), arch_vals_.begin() + base);
+    arch_len_[i] = static_cast<int>(cols.size());
+  }
+}
+
 void BatchUpdater::reserve(Index max_m, Index n) {
   PHMSE_CHECK(max_m >= 0 && n >= 0, "reserve sizes must be >= 0");
   const auto m = static_cast<std::size_t>(max_m);
@@ -207,6 +238,14 @@ void BatchUpdater::apply_all(par::ExecContext& ctx, NodeState& state,
                              NodeReport* report) {
   PHMSE_CHECK(batch_size >= 1, "batch size must be >= 1");
   const auto& all = set.all();
+  // (Re)size the applied-Jacobian archive for this set; the sizes are
+  // stable across sweeps of the same set, so only the first sweep
+  // allocates.
+  const auto slots = static_cast<std::size_t>(set.size()) *
+                     static_cast<std::size_t>(kMaxRowNnz);
+  arch_cols_.resize(slots);
+  arch_vals_.resize(slots);
+  arch_len_.assign(static_cast<std::size_t>(set.size()), -1);
   Index applied_batches = 0;
   for (Index start = 0; start < set.size(); start += batch_size) {
     const Index len = std::min(batch_size, set.size() - start);
@@ -215,6 +254,7 @@ void BatchUpdater::apply_all(par::ExecContext& ctx, NodeState& state,
               std::span<const cons::Constraint>(all.data() + start,
                                                 static_cast<std::size_t>(len)),
               policy, applied_batches);
+    archive_batch_(start, len, out.applied());
     if (report != nullptr) report->record(applied_batches, out);
     ++applied_batches;
     if (symmetrize_every > 0 && applied_batches % symmetrize_every == 0) {

@@ -55,6 +55,23 @@ class BatchUpdater {
                  Index symmetrize_every = 64, const SolvePolicy& policy = {},
                  NodeReport* report = nullptr);
 
+  /// Upper bound on one scalar constraint's Jacobian-row nonzeros (4 atoms
+  /// x 3 coordinates; the widest kind is a torsion).
+  static constexpr Index kMaxRowNnz = 12;
+
+  /// Jacobian row of constraint `i` (the set's sweep order) exactly as it
+  /// was linearized when apply_all last applied its batch — the archive the
+  /// low-rank observation rebind of DESIGN.md §11 reads.  The sensitivity
+  /// of the finished sweep to one observed value is C_post H_i^T R_i^{-1}
+  /// with H_i at its ORIGINAL linearization point (the chain of
+  /// (I - K H) damping factors telescopes to exactly that in information
+  /// space), so a rebind must reuse this row, not a fresh linearization at
+  /// the evolved posterior.  Column indices are node-local state indices.
+  /// Returns false when the constraint's batch was dropped by the policy
+  /// (its information never entered the state) or no sweep has run.
+  bool applied_row(Index i, std::span<const Index>& cols,
+                   std::span<const double>& vals) const;
+
   /// Pre-sizes every scratch buffer for batches of up to `max_m` constraints
   /// against an `n`-dimensional state, so that subsequent apply() calls work
   /// entirely inside existing capacity.  (Without this, the first applied
@@ -83,6 +100,20 @@ class BatchUpdater {
   linalg::Vector dx_;       // state correction (n)
   linalg::Vector w_;        // whitened residual L^-1 r (m)
   bool positions_finite_ = true;  // set by linearize
+
+  /// Applied-Jacobian archive (see applied_row): fixed kMaxRowNnz-stride
+  /// (cols, vals) slots per constraint of the last apply_all set, plus a
+  /// per-constraint nonzero count (-1 = dropped / never applied).  Sized
+  /// once per set size, so steady-state sweeps refresh it without
+  /// allocating.
+  std::vector<Index> arch_cols_;
+  std::vector<double> arch_vals_;
+  std::vector<int> arch_len_;
+
+  /// Copies the freshly applied batch's h_ rows [0, len) into the archive
+  /// at constraints [start, start + len); `applied` false marks them
+  /// dropped instead.
+  void archive_batch_(Index start, Index len, bool applied);
 };
 
 }  // namespace phmse::est

@@ -147,7 +147,14 @@ void Server::execute_(Job& job) {
         lease.plan().set_observations(values);
       }
 
-      const engine::Result result = lease.plan().solve(req.initial);
+      // Incremental path (DESIGN.md §11): on a warm leased instance,
+      // set_observations above marked only the constraints this request
+      // actually changed, so repeat submissions re-execute just the dirty
+      // subtrees.  A cold (freshly compiled) instance has no checkpoint and
+      // the call degrades to a full solve — either way the response is
+      // bitwise identical to a compile-per-request solve
+      // (tests/service_stress_test.cpp pins this).
+      const engine::Result result = lease.plan().solve_incremental(req.initial);
       response.x = result.posterior().x;
       response.cycles = result.cycles;
       response.converged = result.converged;

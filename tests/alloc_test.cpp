@@ -160,5 +160,76 @@ TEST(SteadyStateAllocations, ObservationRebindKeepsTheSteadyState) {
   EXPECT_EQ(steady, 0);
 }
 
+TEST(SteadyStateAllocations, IncrementalResolveAllocatesNothing) {
+  // The incremental path (DESIGN.md §11) adds dirty marking, schedule
+  // preparation, checkpoint bookkeeping and sweep-tally replay on top of
+  // the steady-state solve; all of it must run inside capacity
+  // preallocated at compile time.
+  mol::HelixModel model = mol::build_helix(2);
+  cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(set.size()));
+  for (Index i = 0; i < set.size(); ++i) values.push_back(set[i].observed);
+
+  linalg::Vector x0 = model.topology.true_state();
+  Problem problem = Problem::custom(
+      model.topology.size(), std::move(set),
+      [&model] { return core::build_helix_hierarchy(model); });
+  CompileOptions opts;
+  opts.solve.max_cycles = 1;
+  Plan plan = Engine::compile(problem, opts);
+  plan.solve(x0);  // warm-up; also forms the checkpoint
+
+  values[0] += 0.01;
+  const long dirty_steady = count_allocations([&] {
+    plan.set_observations(values);
+    plan.solve_incremental(x0);
+  });
+  EXPECT_EQ(dirty_steady, 0)
+      << "the incremental re-solve touched the heap " << dirty_steady
+      << " time(s); incremental bookkeeping must be preallocated";
+
+  // No-op rebind: the empty dirty set short-circuits every node.
+  const long noop_steady = count_allocations([&] {
+    plan.set_observations(values);
+    plan.solve_incremental(x0);
+  });
+  EXPECT_EQ(noop_steady, 0);
+}
+
+TEST(SteadyStateAllocations, LowRankResolveAllocatesNothing) {
+  // The low-rank fast path reads archived Jacobian rows and sweeps rows of
+  // the root covariance — all storage sized at compile time or during the
+  // first (warm-up) shift.  Steady-state nudge cycles must stay off the
+  // heap entirely: that is the point of taking the shortcut.
+  mol::HelixModel model = mol::build_helix(2);
+  cons::ConstraintSet set = cons::generate_helix_constraints(model);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(set.size()));
+  for (Index i = 0; i < set.size(); ++i) values.push_back(set[i].observed);
+
+  linalg::Vector x0 = model.topology.true_state();
+  Problem problem = Problem::custom(
+      model.topology.size(), std::move(set),
+      [&model] { return core::build_helix_hierarchy(model); });
+  CompileOptions opts;
+  opts.solve.max_cycles = 1;
+  Plan plan = Engine::compile(problem, opts);
+  plan.solve(x0);  // forms the checkpoint and the Jacobian archive
+
+  values[0] += 0.01;
+  plan.set_observations(values);
+  const Result warm = plan.solve_lowrank(x0);  // warm-up: sizes the shift
+  ASSERT_TRUE(warm.report.low_rank);
+
+  values[1] += 0.01;
+  const long steady = count_allocations([&] {
+    plan.set_observations(values);
+    plan.solve_lowrank(x0);
+  });
+  EXPECT_EQ(steady, 0)
+      << "the low-rank re-solve touched the heap " << steady << " time(s)";
+}
+
 }  // namespace
 }  // namespace phmse::engine

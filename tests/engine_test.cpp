@@ -170,6 +170,44 @@ TEST(Engine, SetObservationsRebindsAndRestores) {
   EXPECT_THROW(plan.set_observations(wrong_size), phmse::Error);
 }
 
+// Regression for the no-op rebind: set_observations with the values a plan
+// already carries must leave the dirty set empty, so the next incremental
+// solve reuses every node — and still returns the identical posterior.
+TEST(Engine, NoOpObservationRebindRecomputesNothing) {
+  Fixture f;
+  CompileOptions opts = Fixture::options(/*cycles=*/1);
+  Plan plan = Engine::compile(f.problem(), opts);
+  const long num_nodes = static_cast<long>(plan.hierarchy().num_nodes());
+
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(f.set.size()));
+  for (Index i = 0; i < f.set.size(); ++i) values.push_back(f.set[i].observed);
+
+  const Result first = plan.solve(f.initial);  // forms the checkpoint
+  ASSERT_TRUE(plan.has_checkpoint());
+  const linalg::Vector baseline = first.posterior().x;
+
+  plan.set_observations(values);  // identical values: nothing marked
+  EXPECT_EQ(plan.pending_dirty_nodes(), 0u);
+  const Result noop = plan.solve_incremental(f.initial);
+  EXPECT_TRUE(noop.report.incremental);
+  EXPECT_EQ(noop.report.nodes_recomputed, 0);
+  EXPECT_EQ(noop.report.nodes_reused, num_nodes);
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(noop.posterior().x[i], baseline[i]) << "coord " << i;
+  }
+
+  // One genuinely changed value: its leaf's root path re-executes, the
+  // sibling subtrees do not.
+  values[0] += 0.05;
+  plan.set_observations(values);
+  EXPECT_EQ(plan.pending_dirty_nodes(), 1u);
+  const Result touched = plan.solve_incremental(f.initial);
+  EXPECT_TRUE(touched.report.incremental);
+  EXPECT_GT(touched.report.nodes_recomputed, 0);
+  EXPECT_LT(touched.report.nodes_recomputed, num_nodes);
+}
+
 TEST(Engine, FlatAndBisectionFactoriesCompile) {
   Fixture f;
   const Index atoms = f.model.topology.size();

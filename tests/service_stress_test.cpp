@@ -49,6 +49,38 @@ struct Fixture {
     return o;
   }
 
+  /// Single-cycle variant: the online configuration where warm cached
+  /// plans form checkpoints and repeat submissions take the incremental
+  /// dirty-subtree path (DESIGN.md §11).
+  static engine::CompileOptions online_options() {
+    engine::CompileOptions o;
+    o.solve.max_cycles = 1;
+    o.solve.prior_sigma = 0.5;
+    return o;
+  }
+
+  /// A sparse update: the compiled base values with ONE slot nudged (the
+  /// online streaming shape — most constraints unchanged between repeat
+  /// submissions, so warm plans reuse most subtrees).
+  std::vector<double> sparse_observations(std::uint64_t seed) const {
+    std::vector<double> values;
+    values.reserve(static_cast<std::size_t>(set.size()));
+    for (const cons::Constraint& c : set.all()) values.push_back(c.observed);
+    Rng rng(seed);
+    values[static_cast<std::size_t>(rng.uniform_int(0, set.size() - 1))] +=
+        rng.gaussian(0.0, 0.01);
+    return values;
+  }
+
+  Request online_request(std::uint64_t seed) const {
+    Request r;
+    r.problem = problem();
+    r.compile = online_options();
+    r.observations = sparse_observations(seed);
+    r.initial = initial;
+    return r;
+  }
+
   std::vector<double> observations(std::uint64_t seed) const {
     Rng rng(seed);
     std::vector<double> values;
@@ -125,6 +157,82 @@ TEST(ServiceStress, ConcurrentTenantsOnOneCachedPlanMatchSequentialBitwise) {
   EXPECT_EQ(s.completed, kTenants * kPerTenant);
   EXPECT_EQ(s.failed, 0);
   EXPECT_GT(s.cache.hits, 0);
+}
+
+TEST(ServiceStress, RepeatSubmissionsTakeIncrementalPathBitwiseUnderChurn) {
+  Fixture f;
+
+  // Compile-per-request references for every observation vector the repeat
+  // tenant will submit.
+  constexpr int kRepeats = 6;
+  std::vector<linalg::Vector> want;
+  for (int i = 0; i < kRepeats; ++i) {
+    engine::Plan plan = Engine::compile(f.problem(), Fixture::online_options());
+    plan.set_observations(
+        f.sparse_observations(static_cast<std::uint64_t>(i + 1)));
+    want.push_back(plan.solve(f.initial).posterior().x);
+  }
+
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.plan_cache_capacity = 2;
+  Server server(opts);
+
+  // Phase 1 — no churn: the second submission must lease the warm instance
+  // the first one returned, whose checkpoint makes the solve incremental.
+  const Response r1 =
+      server.submit("repeat", f.online_request(1)).get();
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_FALSE(r1.report.incremental);
+  const Response r2 =
+      server.submit("repeat", f.online_request(2)).get();
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_TRUE(r2.report.incremental);
+  EXPECT_GT(r2.report.nodes_reused, 0);
+  for (std::size_t j = 0; j < want[0].size(); ++j) {
+    ASSERT_EQ(r1.x[j], want[0][j]) << "r1 coord " << j;
+    ASSERT_EQ(r2.x[j], want[1][j]) << "r2 coord " << j;
+  }
+
+  // Phase 2 — cache churn: a second tenant cycles three distinct recipes
+  // through the capacity-2 cache while the repeat tenant keeps submitting,
+  // so its leases alternate unpredictably between warm instances
+  // (incremental path) and fresh compiles (full fallback).  Every response
+  // must be bitwise the compile-per-request answer either way.
+  std::atomic<bool> stop{false};
+  std::vector<std::future<Response>> churn_futures;
+  std::thread churner([&] {
+    std::uint64_t seed = 100;
+    int recipe = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      Request r = f.online_request(seed++);
+      r.problem.recipe += "/churn-" + std::to_string(recipe);
+      recipe = (recipe + 1) % 3;
+      try {
+        churn_futures.push_back(server.submit("churner", std::move(r)));
+      } catch (const AdmissionError&) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int i = 2; i < kRepeats; ++i) {
+    const Response r = server
+                           .submit("repeat", f.online_request(
+                                                 static_cast<std::uint64_t>(
+                                                     i + 1)))
+                           .get();
+    const linalg::Vector& expected = want[static_cast<std::size_t>(i)];
+    ASSERT_EQ(r.x.size(), expected.size());
+    for (std::size_t j = 0; j < expected.size(); ++j) {
+      ASSERT_EQ(r.x[j], expected[j]) << "repeat " << i << " coord " << j;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  churner.join();
+  for (auto& fut : churn_futures) fut.get();  // all settle cleanly
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.failed, 0);
 }
 
 TEST(ServiceStress, PlanCacheSurvivesConcurrentAcquireRelease) {
