@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "linalg/backend.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -175,6 +176,13 @@ void write_kernel_bench_json(const std::string& path,
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"phmse-kernel-bench-v1\",\n");
   std::fprintf(f, "  \"bench_scale\": %.4g,\n", bench_scale());
+  // Which backend free-function dispatch resolves to on this host, and the
+  // microkernel set behind the simd rows (bench_check's speedup gate only
+  // means something when a vector ISA was actually in play).
+  std::fprintf(f, "  \"default_backend\": \"%s\",\n",
+               json_escape(linalg::default_backend().name).c_str());
+  std::fprintf(f, "  \"simd_isa\": \"%s\",\n",
+               json_escape(linalg::find_backend("simd")->simd_isa).c_str());
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
     const KernelBenchRecord& r = records[i];

@@ -1,10 +1,14 @@
-// Perf-regression harness for the blocked dense kernels.
+// Perf-regression harness for the dense kernel backends.
 //
-// Times every rewritten kernel (blocked production implementation vs the
-// frozen linalg::ref scalar baseline) over the hot shapes of the Fig.-1
-// update and the Fig.-3 combination, then writes the machine-readable
-// BENCH_kernels.json consumed by scripts/bench_check.py.  Run from the
-// repository root so the JSON lands next to the committed baseline:
+// Times every gemm-panel kernel under each registered backend — `simd`
+// (explicit vector microkernels), `blocked` (portable register-tiled) and
+// `ref` (frozen scalar oracle) — over the hot shapes of the Fig.-1 update
+// and the Fig.-3 combination, then writes the machine-readable
+// BENCH_kernels.json consumed by scripts/bench_check.py.  Each row calls
+// through the named backend's dispatch table, so the measurements are
+// pinned regardless of PHMSE_BACKEND or what default dispatch resolves to.
+// Run from the repository root so the JSON lands next to the committed
+// baseline:
 //
 //   ./build/bench/kernels_regress            # writes BENCH_kernels.json
 //   ./build/bench/kernels_regress out.json   # explicit output path
@@ -17,18 +21,19 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/blas.hpp"
-#include "linalg/cholesky.hpp"
-#include "linalg/kernels.hpp"
-#include "linalg/ref_kernels.hpp"
+#include "linalg/simd/simd_kernels.hpp"
 #include "parallel/exec.hpp"
 #include "parallel/team.hpp"
+#include "support/check.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 
 namespace phmse::bench {
 namespace {
 
+using linalg::Backend;
 using linalg::Matrix;
 
 Matrix random_matrix(Index rows, Index cols, Rng& rng) {
@@ -87,7 +92,15 @@ struct Harness {
 
 int run_all(const std::string& out_path) {
   print_header("kernels_regress",
-               "blocked dense kernels vs scalar reference (perf trajectory)");
+               "dense kernel backends vs scalar reference (perf trajectory)");
+  std::printf("simd microkernels: %s\n", linalg::simd::active_isa());
+
+  // Pinned backend tables: every row dispatches through one of these, so
+  // the measurement never depends on the process default.
+  const std::vector<const Backend*> impls = {
+      linalg::find_backend("simd"), linalg::find_backend("blocked"),
+      linalg::find_backend("ref")};
+  for (const Backend* b : impls) PHMSE_CHECK(b != nullptr, "missing backend");
 
   const bool smoke = bench_scale() < 0.5;
   const std::vector<Index> dims =
@@ -120,20 +133,18 @@ int run_all(const std::string& out_path) {
     // traffic would otherwise dominate the measurement at large n.
     Matrix c = c0;
     for (const int t : thread_counts) {
-      h.run("covariance_downdate", "blocked", m, n, t, flops, bytes,
-            [&](par::ExecContext& ctx) {
-              linalg::covariance_downdate(ctx, v, g, c);
-            });
-      c = c0;
-      h.run("covariance_downdate", "ref", m, n, t, flops, bytes,
-            [&](par::ExecContext& ctx) {
-              linalg::ref::covariance_downdate(ctx, v, g, c);
-            });
+      for (const Backend* b : impls) {
+        c = c0;
+        h.run("covariance_downdate", b->name, m, n, t, flops, bytes,
+              [&](par::ExecContext& ctx) {
+                b->covariance_downdate(ctx, v, g, c);
+              });
+      }
       Matrix out;
-      h.run("gram", "blocked", m, n, t, flops, bytes,
-            [&](par::ExecContext& ctx) { linalg::gram(ctx, v, out); });
-      h.run("gram", "ref", m, n, t, flops, bytes,
-            [&](par::ExecContext& ctx) { linalg::ref::gram(ctx, v, out); });
+      for (const Backend* b : impls) {
+        h.run("gram", b->name, m, n, t, flops, bytes,
+              [&](par::ExecContext& ctx) { b->gram(ctx, v, out); });
+      }
     }
   }
 
@@ -148,26 +159,18 @@ int run_all(const std::string& out_path) {
                0.5 * static_cast<double>(sz) * static_cast<double>(sz));
     Matrix b = b0;
     for (const int t : thread_counts) {
-      h.run("trsm_lower", "blocked", sz, trsm_rhs, t, flops, bytes,
-            [&](par::ExecContext& ctx) {
-              b = b0;
-              linalg::trsm_lower(ctx, l, b);
-            });
-      h.run("trsm_lower", "ref", sz, trsm_rhs, t, flops, bytes,
-            [&](par::ExecContext& ctx) {
-              b = b0;
-              linalg::ref::trsm_lower(ctx, l, b);
-            });
-      h.run("trsm_lower_transposed", "blocked", sz, trsm_rhs, t, flops,
-            bytes, [&](par::ExecContext& ctx) {
-              b = b0;
-              linalg::trsm_lower_transposed(ctx, l, b);
-            });
-      h.run("trsm_lower_transposed", "ref", sz, trsm_rhs, t, flops, bytes,
-            [&](par::ExecContext& ctx) {
-              b = b0;
-              linalg::ref::trsm_lower_transposed(ctx, l, b);
-            });
+      for (const Backend* impl : impls) {
+        h.run("trsm_lower", impl->name, sz, trsm_rhs, t, flops, bytes,
+              [&](par::ExecContext& ctx) {
+                b = b0;
+                impl->trsm_lower(ctx, l, b);
+              });
+        h.run("trsm_lower_transposed", impl->name, sz, trsm_rhs, t, flops,
+              bytes, [&](par::ExecContext& ctx) {
+                b = b0;
+                impl->trsm_lower_transposed(ctx, l, b);
+              });
+      }
     }
   }
 
@@ -179,16 +182,15 @@ int run_all(const std::string& out_path) {
                          static_cast<double>(sz);
     Matrix a = s;
     for (const int t : thread_counts) {
-      h.run("cholesky", "blocked", 0, sz, t, flops, bytes,
-            [&](par::ExecContext& ctx) {
-              a = s;
-              linalg::cholesky(ctx, a);
-            });
-      h.run("cholesky", "ref", 0, sz, t, flops, bytes,
-            [&](par::ExecContext& ctx) {
-              a = s;
-              linalg::ref::cholesky(ctx, a);
-            });
+      for (const Backend* impl : impls) {
+        h.run("cholesky", impl->name, 0, sz, t, flops, bytes,
+              [&](par::ExecContext& ctx) {
+                a = s;
+                const linalg::CholeskyResult r =
+                    impl->cholesky_factor(ctx, a, 48);
+                PHMSE_CHECK(r.ok(), "bench cholesky: not positive definite");
+              });
+      }
     }
   }
 
@@ -196,29 +198,36 @@ int run_all(const std::string& out_path) {
   std::printf("\nwrote %zu records to %s\n", h.records.size(),
               out_path.c_str());
 
-  // Headline: single-thread blocked-vs-ref speedup per kernel at the
-  // largest measured shape (the acceptance bar is >= 2x for
-  // covariance_downdate and gram at n >= 512).
-  std::printf("single-thread speedups (blocked vs ref, largest shape):\n");
+  // Headline: single-thread speedups per kernel at the largest measured
+  // shape — blocked vs ref (acceptance bar >= 2x for covariance_downdate
+  // and gram at n >= 512) and simd vs blocked (bar >= 1.5x on the
+  // gemm-panel kernels; scripts/bench_check.py gates the geometric mean).
+  auto best_at_largest = [&](const std::string& kernel,
+                             const char* impl) -> const KernelBenchRecord* {
+    const KernelBenchRecord* best = nullptr;
+    for (const KernelBenchRecord& r : h.records) {
+      if (r.kernel != kernel || r.threads != 1 || r.impl != impl) continue;
+      if (best == nullptr || r.n > best->n) best = &r;
+    }
+    return best;
+  };
+  std::printf("single-thread speedups at the largest shape:\n");
   for (const std::string kernel :
        {"covariance_downdate", "gram", "trsm_lower",
         "trsm_lower_transposed", "cholesky"}) {
-    const KernelBenchRecord* blocked = nullptr;
-    const KernelBenchRecord* ref = nullptr;
-    for (const KernelBenchRecord& r : h.records) {
-      if (r.kernel != kernel || r.threads != 1) continue;
-      if (r.impl == "blocked" &&
-          (blocked == nullptr || r.n > blocked->n)) {
-        blocked = &r;
-      }
-      if (r.impl == "ref" && (ref == nullptr || r.n > ref->n)) ref = &r;
+    const KernelBenchRecord* simd = best_at_largest(kernel, "simd");
+    const KernelBenchRecord* blocked = best_at_largest(kernel, "blocked");
+    const KernelBenchRecord* ref = best_at_largest(kernel, "ref");
+    if (simd == nullptr || blocked == nullptr || ref == nullptr ||
+        blocked->seconds <= 0.0 || simd->seconds <= 0.0) {
+      continue;
     }
-    if (blocked != nullptr && ref != nullptr && blocked->seconds > 0.0) {
-      std::printf("  %-24s n=%-5lld %.2fx (%.2f vs %.2f GF/s)\n",
-                  kernel.c_str(), static_cast<long long>(blocked->n),
-                  ref->seconds / blocked->seconds, blocked->gflops(),
-                  ref->gflops());
-    }
+    std::printf(
+        "  %-24s n=%-5lld blocked/ref %.2fx, simd/blocked %.2fx "
+        "(%.2f GF/s simd)\n",
+        kernel.c_str(), static_cast<long long>(blocked->n),
+        ref->seconds / blocked->seconds, blocked->seconds / simd->seconds,
+        simd->gflops());
   }
   return 0;
 }

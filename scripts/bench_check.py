@@ -39,6 +39,14 @@ analogue: wherever a service document contains both a cold and a warm row
 for the same configuration, warm solves/sec must be at least FACTOR times
 cold solves/sec (DESIGN.md §10 — the plan cache must pay for itself).
 
+--min-simd-speedup [FACTOR] (default 1.5 when given) gates the simd
+backend's microkernels: for each gemm-panel kernel (covariance_downdate,
+gram) the geometric mean over the single-thread shapes of
+blocked-seconds / simd-seconds must reach FACTOR (DESIGN.md §12 — the
+explicit vector tiles must pay for themselves over the auto-vectorized
+blocked kernels; the geometric mean keeps one memory-bound outlier shape
+from hiding a regression at the compute-bound shapes and vice versa).
+
 --min-incremental-speedup [FACTOR] (default 3.0 when given) gates the
 incremental rebind fast path: wherever a kernel document contains both a
 plan_solve_steady and a plan_solve_incremental row for the same
@@ -56,6 +64,7 @@ Exit status: 0 ok / report-only, 1 regression found, 2 invalid input.
 
 import argparse
 import json
+import math
 import sys
 
 KERNEL_SCHEMA = "phmse-kernel-bench-v1"
@@ -79,7 +88,7 @@ KNOWN_KERNELS = {
     # --min-incremental-speedup.
     "plan_solve_incremental",
 }
-KNOWN_IMPLS = {"blocked", "ref", "engine"}
+KNOWN_IMPLS = {"simd", "blocked", "ref", "engine"}
 KNOWN_MODES = {"cold", "warm"}
 
 KERNEL_FIELDS = {
@@ -262,6 +271,61 @@ def check_incremental_speedup(doc, path, min_speedup):
     return violations
 
 
+def check_simd_speedup(doc, path, min_speedup):
+    """Intra-document simd vs blocked gate on the gemm-panel kernels.
+
+    Returns the number of violations.  Both impl rows come from the same
+    interleaved run (bench/kernels_regress) through pinned backend tables,
+    so the ratio measures the microkernels' payoff independent of the
+    machine's absolute speed.  Gated per kernel on the geometric mean over
+    all matched single-thread shapes.
+    """
+    if is_service(doc):
+        print(f"bench_check: note: {path} is a service document; "
+              "simd speedup not checked")
+        return 0
+
+    if doc.get("simd_isa") == "scalar":
+        print(f"bench_check: note: {path} simd rows ran without vector "
+              "microkernels (simd_isa=scalar); simd speedup not checked")
+        return 0
+
+    gemm_panel_kernels = ("covariance_downdate", "gram")
+    blocked = {(r["kernel"], r["m"], r["n"]): r for r in doc["results"]
+               if r["impl"] == "blocked" and r["threads"] == 1
+               and r["kernel"] in gemm_panel_kernels}
+    simd = {(r["kernel"], r["m"], r["n"]): r for r in doc["results"]
+            if r["impl"] == "simd" and r["threads"] == 1
+            and r["kernel"] in gemm_panel_kernels}
+    matched = sorted(blocked.keys() & simd.keys())
+    violations = 0
+    checked = False
+    for kernel in gemm_panel_kernels:
+        cfgs = [k for k in matched if k[0] == kernel]
+        if not cfgs:
+            continue
+        checked = True
+        log_sum = 0.0
+        for cfg in cfgs:
+            speedup = blocked[cfg]["seconds"] / simd[cfg]["seconds"]
+            log_sum += math.log(speedup)
+            print("           simd speedup {} m={} n={} t=1 {:.2f}x"
+                  .format(*cfg, speedup))
+        geomean = math.exp(log_sum / len(cfgs))
+        if geomean < min_speedup:
+            violations += 1
+            verdict = "REGRESS"
+        else:
+            verdict = "ok"
+        print("  {:8s} simd speedup {} geomean {:.2f}x over {} shape(s) "
+              "(floor {:.2f}x)".format(verdict, kernel, geomean, len(cfgs),
+                                       min_speedup))
+    if not checked:
+        print(f"bench_check: note: {path} has no simd/blocked row pair on "
+              "the gemm-panel kernels; simd speedup not checked")
+    return violations
+
+
 def check_warm_speedup(doc, path, min_speedup):
     """Intra-document warm vs cold throughput gate for service documents.
 
@@ -368,6 +432,12 @@ def main():
                          "solves/sec within a service document "
                          "(default 5.0 when the flag is given); "
                          "not silenced by --report-only")
+    ap.add_argument("--min-simd-speedup", metavar="FACTOR",
+                    type=float, nargs="?", const=1.5, default=None,
+                    help="fail if the geometric mean of blocked/simd seconds "
+                         "over the single-thread gemm-panel shapes is below "
+                         "FACTOR within a kernel document (default 1.5 when "
+                         "the flag is given); not silenced by --report-only")
     ap.add_argument("--min-incremental-speedup", metavar="FACTOR",
                     type=float, nargs="?", const=3.0, default=None,
                     help="fail if plan_solve_incremental is not at least "
@@ -384,6 +454,8 @@ def main():
     if args.min_incremental_speedup is not None \
             and args.min_incremental_speedup < 1:
         ap.error("--min-incremental-speedup must be >= 1")
+    if args.min_simd_speedup is not None and args.min_simd_speedup < 1:
+        ap.error("--min-simd-speedup must be >= 1")
 
     if args.validate:
         doc = load(args.validate)
@@ -398,6 +470,9 @@ def main():
         if args.min_incremental_speedup is not None:
             bad += check_incremental_speedup(doc, args.validate,
                                              args.min_incremental_speedup)
+        if args.min_simd_speedup is not None:
+            bad += check_simd_speedup(doc, args.validate,
+                                      args.min_simd_speedup)
         if bad:
             print(f"bench_check: {bad} intra-document violation(s)")
             return 1
@@ -436,6 +511,9 @@ def main():
     if args.min_incremental_speedup is not None:
         intra_violations += check_incremental_speedup(
             current, args.current, args.min_incremental_speedup)
+    if args.min_simd_speedup is not None:
+        intra_violations += check_simd_speedup(
+            current, args.current, args.min_simd_speedup)
     if intra_violations:
         print(f"bench_check: {intra_violations} intra-document violation(s)")
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "estimation/update.hpp"
+#include "linalg/backend.hpp"
 #include "support/check.hpp"
 
 namespace phmse::core {
@@ -90,6 +91,8 @@ SimSolveResult solve_hierarchical_dynamic_sim(Hierarchy& hierarchy,
   SimSolveResult out;
   Vector current = initial_x;
   est::BatchUpdater updater;
+  updater.set_backend(
+      &linalg::resolve_backend(options.backend, "HierSolveOptions.backend"));
   const int procs = machine.processors();
 
   for (int cycle = 0; cycle < options.max_cycles; ++cycle) {

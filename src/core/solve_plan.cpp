@@ -5,6 +5,7 @@
 #include <cstring>
 #include <exception>
 
+#include "linalg/backend.hpp"
 #include "parallel/task_group.hpp"
 #include "parallel/team.hpp"
 #include "support/check.hpp"
@@ -29,7 +30,10 @@ double rms_delta(const Vector& a, const Vector& b) {
 }  // namespace
 
 SolvePlan::SolvePlan(Hierarchy& hierarchy, const HierSolveOptions& options)
-    : hierarchy_(&hierarchy), options_(options) {
+    : hierarchy_(&hierarchy),
+      options_(options),
+      backend_(&linalg::resolve_backend(options.backend,
+                                        "HierSolveOptions.backend")) {
   nodes_.reserve(static_cast<std::size_t>(hierarchy.num_nodes()));
   build_(hierarchy.root());
 
@@ -45,6 +49,7 @@ SolvePlan::SolvePlan(Hierarchy& hierarchy, const HierSolveOptions& options)
     const Index max_m =
         std::min(std::max<Index>(options_.batch_size, 1),
                  w.node->constraints.size());
+    w.updater.set_backend(backend_);
     w.updater.reserve(max_m, n);
   }
   // Incremental bookkeeping (DESIGN.md §11), all preallocated so marking,
@@ -265,6 +270,7 @@ PlanRunStats SolvePlan::run_cycles_(const Vector& initial_x,
   // allocation-free.
   for (NodeWork& w : nodes_) w.report.clear();
   report_.clear();
+  report_.backend = backend_->name;
   if (incremental) {
     // Replay the saved sweep tallies of the nodes cycle 1 will skip:
     // determinism guarantees a re-execution would tally identically, so
@@ -430,6 +436,7 @@ bool SolvePlan::try_run_lowrank(par::ExecContext& ctx, const Vector& initial_x,
   // keep accumulating until an exact run drains them.
   for (NodeWork& w : nodes_) w.report.clear();
   report_.clear();
+  report_.backend = backend_->name;
   for (NodeWork& w : nodes_) w.report.merge_from(w.sweep_report);
   root.report.merge_from(lowrank_report);
   for (std::size_t i = 0; i < nodes_.size(); ++i) {

@@ -28,6 +28,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +56,12 @@ struct HierSolveOptions {
   /// The default (abort) throws on the first failure, exactly as solves
   /// always have.
   est::SolvePolicy policy;
+  /// Kernel backend for every node of the solve: "ref", "blocked", "simd",
+  /// or empty for the process default (PHMSE_BACKEND, else best available).
+  /// Resolved once at plan build — a compiled plan never mixes backends —
+  /// and recorded in SolveReport::backend.  Unknown names fail fast at
+  /// compile with the valid names and this CPU's support (backend.hpp).
+  std::string backend;
 };
 
 /// Result: the root posterior plus cycle statistics.
@@ -290,6 +297,9 @@ class SolvePlan {
 
   Hierarchy* hierarchy_ = nullptr;
   HierSolveOptions options_;
+  /// Kernel dispatch table every node's updater calls through; resolved
+  /// from options_.backend at plan build (registry-static, never null).
+  const linalg::Backend* backend_ = nullptr;
   std::vector<NodeWork> nodes_;  // post-order; root last
   /// Post-order index of each hierarchy node, for mark_constraint_dirty.
   std::unordered_map<const HierNode*, std::size_t> node_index_;

@@ -58,6 +58,11 @@ struct SolveReport {
   /// True when the run was the low-rank perturbative root update (first-
   /// order, NOT bitwise-equal to a from-scratch solve; DESIGN.md §11).
   bool low_rank = false;
+  /// Name of the kernel backend the run dispatched through ("ref",
+  /// "blocked", "simd"; see linalg/backend.hpp), resolved once at plan
+  /// build.  Registry names are short, so the assignment stays inside the
+  /// small-string buffer — no allocation on the steady-state solve path.
+  std::string backend;
   std::vector<SolveIncident> incidents;
 
   /// True when every batch applied on its first factorization attempt.
@@ -76,6 +81,7 @@ struct SolveReport {
     nodes_recomputed = nodes_reused = 0;
     incremental = false;
     low_rank = false;
+    backend.clear();    // SSO — no alloc, no capacity to lose
     incidents.clear();  // keeps capacity — no alloc on the next clean run
   }
 

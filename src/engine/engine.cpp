@@ -9,6 +9,7 @@
 
 #include "core/schedule.hpp"
 #include "estimation/update.hpp"
+#include "linalg/backend.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 
@@ -71,6 +72,10 @@ core::WorkModel calibrate_work_model(core::Hierarchy& hierarchy,
         c.variance = 0.01;
       }
       est::BatchUpdater updater;
+      // Calibrate against the backend the compiled plan will dispatch
+      // through, not whatever the process default happens to be.
+      updater.set_backend(
+          &linalg::resolve_backend(solve.backend, "HierSolveOptions.backend"));
       updater.apply(ctx, state, batch);  // warm the scratch buffers
       Stopwatch sw;
       int reps = 0;

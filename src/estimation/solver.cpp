@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/backend.hpp"
 #include "support/check.hpp"
 
 namespace phmse::est {
@@ -16,6 +17,8 @@ SolveResult solve_flat(par::ExecContext& ctx, NodeState& state,
               "constraints reference atoms outside the state");
 
   BatchUpdater updater;
+  updater.set_backend(
+      &linalg::resolve_backend(options.backend, "SolveOptions.backend"));
   SolveResult result;
   for (int cycle = 0; cycle < options.max_cycles; ++cycle) {
     state.reset_covariance(options.prior_sigma);

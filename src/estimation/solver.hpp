@@ -8,6 +8,8 @@
 // each hierarchy node.
 #pragma once
 
+#include <string>
+
 #include "constraints/set.hpp"
 #include "estimation/state.hpp"
 #include "estimation/update.hpp"
@@ -33,6 +35,11 @@ struct SolveOptions {
   double prior_sigma = 1.0;
   /// Symmetrize C every this many batches (0 = never).
   Index symmetrize_every = 64;
+  /// Kernel backend for this solve: "ref", "blocked", "simd", or empty for
+  /// the process default (PHMSE_BACKEND, else best available).  Unknown
+  /// names fail fast with the valid names and this CPU's support — see
+  /// linalg/backend.hpp.
+  std::string backend;
 };
 
 /// Result of an iterated solve.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "estimation/fault_injection.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/kernels.hpp"
@@ -109,7 +110,10 @@ BatchOutcome BatchUpdater::apply(par::ExecContext& ctx, NodeState& state,
     return out;
   }
 
-  linalg::sparse_dense(ctx, h_, state.c, g_);             // G = H C       d-s
+  const linalg::Backend& be =
+      backend_ != nullptr ? *backend_ : linalg::default_backend();
+
+  be.sparse_dense(ctx, h_, state.c, g_);                  // G = H C       d-s
 
   // Factor S = L L^T under the policy's retry ladder.  The first attempt
   // factors S exactly as the historical code path; a retry re-assembles S
@@ -120,13 +124,13 @@ BatchOutcome BatchUpdater::apply(par::ExecContext& ctx, NodeState& state,
   double lambda = 0.0;
   double scale = 0.0;
   for (int attempt = 0;; ++attempt) {
-    linalg::innovation_covariance(ctx, g_, h_, rdiag_, s_);  // S = G H^T + R
+    be.innovation_covariance(ctx, g_, h_, rdiag_, s_);       // S = G H^T + R
     fault::maybe_force_non_spd(state, batch_index, s_);
     if (lambda > 0.0) {
       for (Index i = 0; i < m; ++i) s_(i, i) += lambda;
     }
     const linalg::CholeskyResult chol =
-        linalg::cholesky_factor(ctx, s_);                    // S = L L^T chol
+        be.cholesky_factor(ctx, s_, 48);                     // S = L L^T chol
     out.attempts = attempt + 1;
     if (chol.ok()) break;
     out.failed_pivot = chol.failed_pivot;
@@ -181,11 +185,11 @@ BatchOutcome BatchUpdater::apply(par::ExecContext& ctx, NodeState& state,
 
   // Commit: every fallible step is behind us, so from here the batch either
   // applies completely or (on a crash) not at all — no half-mutated state.
-  linalg::trsm_lower(ctx, s_, g_);                   // W = L^-1 G        sys
+  be.trsm_lower(ctx, s_, g_);                        // W = L^-1 G        sys
   dx_.assign(static_cast<std::size_t>(n), 0.0);
-  linalg::gain_times_residual(ctx, g_, w_, dx_);     // dx = W^T w        m-v
+  be.gain_times_residual(ctx, g_, w_, dx_);          // dx = W^T w        m-v
   linalg::vec_add_inplace(ctx, dx_, state.x);        // x += dx           vec
-  linalg::covariance_downdate(ctx, g_, g_, state.c); // C -= W^T W        m-v
+  be.covariance_downdate(ctx, g_, g_, state.c);      // C -= W^T W        m-v
   return out;
 }
 

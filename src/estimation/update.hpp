@@ -22,12 +22,22 @@
 #include "linalg/csr.hpp"
 #include "parallel/exec.hpp"
 
+namespace phmse::linalg {
+struct Backend;
+}  // namespace phmse::linalg
+
 namespace phmse::est {
 
 /// Applies constraint batches to a NodeState (paper Fig. 1).
 class BatchUpdater {
  public:
   BatchUpdater() = default;
+
+  /// Pins the kernel backend this updater calls through (linalg/backend.hpp).
+  /// Null (the default) means the process-default backend, re-read on every
+  /// apply so a test that swaps PHMSE_BACKEND between solves is honored.
+  /// The pointer must outlive the updater; registry backends are static.
+  void set_backend(const linalg::Backend* backend) { backend_ = backend; }
 
   /// Applies one batch of scalar constraints to `state`.  All constraint
   /// atoms must lie inside the state's atom range.  Execution (serial,
@@ -90,6 +100,9 @@ class BatchUpdater {
   /// the observation data (residuals, variances) must all be finite, and
   /// every variance strictly positive.
   bool batch_inputs_valid_() const;
+
+  /// Kernel dispatch table (see set_backend); null = process default.
+  const linalg::Backend* backend_ = nullptr;
 
   linalg::Csr h_;
   linalg::CsrBuilder builder_;  // Jacobian assembly; capacity swaps with h_

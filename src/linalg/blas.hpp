@@ -2,7 +2,7 @@
 //
 // These are the reference implementations: straightforward, obviously
 // correct loops used by unit tests and by the serial inner bodies of the
-// parallel kernels in kernels.cpp.
+// parallel kernels in linalg/blocked and linalg/ref.
 #pragma once
 
 #include "linalg/matrix.hpp"
@@ -52,8 +52,8 @@ Matrix spd_solve(const Matrix& a, const Matrix& b);
 // ---------------------------------------------------------------------------
 // Blocked GEMM panel updates (see DESIGN.md §7).
 //
-// These are the register-tiled building blocks behind the hot kernels in
-// kernels.cpp and cholesky.cpp.  Both compute a rank-kk update of a C panel:
+// These are the register-tiled building blocks behind the blocked backend's
+// hot kernels (linalg/blocked).  Both compute a rank-kk update of a C panel:
 //
 //   gemm_nn_acc:  C (mm x nn) += alpha * A (mm x kk) * B (kk x nn)
 //   gemm_tn_acc:  C (mm x nn) += alpha * A^T * B,  A stored kk x mm

@@ -5,6 +5,10 @@
 // panel — this is exactly why the paper reports poor parallel scaling for
 // the `chol` category.  For large matrices (the Fig.-3 combination
 // procedure factors n x n covariances) the trailing updates parallelize.
+//
+// These entry points dispatch through the process-default backend (see
+// backend.hpp); per-solve backend overrides call the Backend table
+// directly.
 #pragma once
 
 #include "linalg/matrix.hpp"

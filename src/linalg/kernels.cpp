@@ -1,9 +1,16 @@
+// Dispatch layer: the public kernel entry points forward to the
+// process-default Backend (see backend.hpp).  Callers that need a specific
+// backend (e.g. a solve compiled with SolveOptions.backend) hold a
+// `const Backend*` and call through its table directly.
+//
+// The element-wise vector utilities at the bottom are backend-independent:
+// they are bandwidth-bound single-pass loops with nothing to specialize, so
+// they live here rather than in the per-backend tables.
 #include "linalg/kernels.hpp"
 
-#include <algorithm>
-#include <cmath>
-
+#include "linalg/backend.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
 #include "support/check.hpp"
 
 namespace phmse::linalg {
@@ -18,271 +25,45 @@ constexpr double kBytes = 8.0;  // sizeof(double)
 
 void sparse_dense(par::ExecContext& ctx, const Csr& h, const Matrix& c,
                   Matrix& g) {
-  PHMSE_CHECK(h.cols() == c.rows() && c.rows() == c.cols(),
-              "sparse_dense: dimension mismatch");
-  const Index m = h.rows();
-  const Index n = c.cols();
-  g.resize_zero(m, n);
-
-  auto cost = [&](Index begin, Index end) {
-    KernelStats st;
-    double nnz = 0.0;
-    for (Index j = begin; j < end; ++j) nnz += static_cast<double>(h.row_nnz(j));
-    st.flops = 2.0 * nnz * static_cast<double>(n);
-    st.bytes_stream = kBytes * static_cast<double>((end - begin) * n);
-    // The gathered C rows: which rows depends on the sparsity pattern, so
-    // there is no tiling reuse — the paper's "randomly accesses its dense
-    // counterpart".
-    st.bytes_irregular = kBytes * nnz * static_cast<double>(n);
-    return st;
-  };
-  auto body = [&](Index begin, Index end, int /*lane*/) {
-    for (Index j = begin; j < end; ++j) {
-      double* grow = g.row(j).data();
-      const auto idx = h.row_indices(j);
-      const auto val = h.row_values(j);
-      for (std::size_t k = 0; k < idx.size(); ++k) {
-        axpy(val[k], c.row(idx[k]).data(), grow, n);
-      }
-    }
-  };
-  ctx.parallel(Category::kDenseSparse, m, cost, body);
+  default_backend().sparse_dense(ctx, h, c, g);
 }
 
 void innovation_covariance(par::ExecContext& ctx, const Matrix& g,
                            const Csr& h, const Vector& r_diag, Matrix& s) {
-  PHMSE_CHECK(g.rows() == h.rows() && g.cols() == h.cols(),
-              "innovation_covariance: G/H shape mismatch");
-  PHMSE_CHECK(static_cast<Index>(r_diag.size()) == h.rows(),
-              "innovation_covariance: noise diagonal size mismatch");
-  const Index m = h.rows();
-  s.resize_zero(m, m);
-
-  auto cost = [&](Index begin, Index end) {
-    KernelStats st;
-    st.flops = 2.0 * static_cast<double>(end - begin) *
-               static_cast<double>(h.nnz());
-    st.bytes_stream = kBytes * static_cast<double>((end - begin) * g.cols());
-    st.bytes_irregular =
-        kBytes * static_cast<double>((end - begin) * h.nnz());
-    return st;
-  };
-  auto body = [&](Index begin, Index end, int /*lane*/) {
-    for (Index j = begin; j < end; ++j) {
-      const double* grow = g.row(j).data();
-      double* srow = s.row(j).data();
-      for (Index l = 0; l < m; ++l) {
-        const auto idx = h.row_indices(l);
-        const auto val = h.row_values(l);
-        double acc = 0.0;
-        for (std::size_t k = 0; k < idx.size(); ++k) {
-          acc += val[k] * grow[idx[k]];
-        }
-        srow[l] = acc;
-      }
-      srow[j] += r_diag[static_cast<std::size_t>(j)];
-    }
-  };
-  ctx.parallel(Category::kMatMat, m, cost, body);
+  default_backend().innovation_covariance(ctx, g, h, r_diag, s);
 }
-
-namespace {
-
-// Shared implementation of the two triangular solves, blocked over rows of
-// L so the diagonal block stays L1-resident while it sweeps the lane's
-// right-hand-side strip.  Columns of B are independent; each lane owns a
-// column slice.  Per block [k0, k1): the contribution of the already-solved
-// rows is applied as one register-tiled GEMM panel (B_blk -= L_blk,prev *
-// B_prev), then the diagonal block is solved by direct substitution.  The
-// substitution order seen by any single element matches the scalar
-// reference (ascending p for the forward solve), so the two agree to
-// FMA-contraction round-off; see linalg::ref::trsm_lower.
-template <bool Transposed>
-void trsm_impl(par::ExecContext& ctx, const Matrix& l, Matrix& b) {
-  PHMSE_CHECK(l.rows() == l.cols(), "trsm: L must be square");
-  PHMSE_CHECK(l.rows() == b.rows(), "trsm: dimension mismatch");
-  const Index m = l.rows();
-  const Index k = b.cols();
-
-  auto cost = [&](Index begin, Index end) {
-    KernelStats st;
-    const double cols = static_cast<double>(end - begin);
-    st.flops = cols * static_cast<double>(m) * static_cast<double>(m);
-    st.bytes_stream = kBytes * (cols * static_cast<double>(m) +
-                                0.5 * static_cast<double>(m) *
-                                    static_cast<double>(m));
-    // The lane's column slice of B is revisited once per row block (it was
-    // once per substitution step before blocking).
-    st.resident_bytes = kBytes * cols * static_cast<double>(m);
-    st.resident_sweeps =
-        static_cast<double>((m + kTrsmBlock - 1) / kTrsmBlock);
-    return st;
-  };
-  auto body = [&](Index begin, Index end, int /*lane*/) {
-    const Index width = end - begin;
-    if (width <= 0 || m <= 0) return;
-    const Index ldb = b.cols();
-    double* const bbase = b.data() + begin;
-    const double* const ldata = l.data();
-    if constexpr (!Transposed) {
-      for (Index k0 = 0; k0 < m; k0 += kTrsmBlock) {
-        const Index bs = std::min(kTrsmBlock, m - k0);
-        // B[k0..k0+bs) -= L[k0..k0+bs, 0..k0) * B[0..k0).
-        gemm_nn_acc(-1.0, ldata + k0 * m, m, bbase, ldb, bbase + k0 * ldb,
-                    ldb, bs, k0, width);
-        for (Index i = k0; i < k0 + bs; ++i) {
-          double* bi = bbase + i * ldb;
-          const double* lrow = ldata + i * m;
-          for (Index p = k0; p < i; ++p) {
-            const double lip = lrow[p];
-            const double* bp = bbase + p * ldb;
-            for (Index q = 0; q < width; ++q) {
-              bi[q] = std::fma(-lip, bp[q], bi[q]);
-            }
-          }
-          const double inv = 1.0 / lrow[i];
-          for (Index q = 0; q < width; ++q) bi[q] *= inv;
-        }
-      }
-    } else {
-      for (Index k0 = ((m - 1) / kTrsmBlock) * kTrsmBlock; k0 >= 0;
-           k0 -= kTrsmBlock) {
-        const Index k1 = std::min(k0 + kTrsmBlock, m);
-        // B[k0..k1) -= L[k1..m, k0..k1)^T * B[k1..m).
-        gemm_tn_acc(-1.0, ldata + k1 * m + k0, m, bbase + k1 * ldb, ldb,
-                    bbase + k0 * ldb, ldb, k1 - k0, m - k1, width);
-        for (Index i = k1 - 1; i >= k0; --i) {
-          double* bi = bbase + i * ldb;
-          for (Index p = i + 1; p < k1; ++p) {
-            const double lpi = ldata[p * m + i];
-            const double* bp = bbase + p * ldb;
-            for (Index q = 0; q < width; ++q) {
-              bi[q] = std::fma(-lpi, bp[q], bi[q]);
-            }
-          }
-          const double inv = 1.0 / ldata[i * m + i];
-          for (Index q = 0; q < width; ++q) bi[q] *= inv;
-        }
-      }
-    }
-  };
-  ctx.parallel(Category::kSystemSolve, k, cost, body);
-}
-
-}  // namespace
 
 void trsm_lower(par::ExecContext& ctx, const Matrix& l, Matrix& b) {
-  trsm_impl<false>(ctx, l, b);
+  default_backend().trsm_lower(ctx, l, b);
 }
 
 void trsm_lower_transposed(par::ExecContext& ctx, const Matrix& l,
                            Matrix& b) {
-  trsm_impl<true>(ctx, l, b);
+  default_backend().trsm_lower_transposed(ctx, l, b);
 }
 
 void gain_times_residual(par::ExecContext& ctx, const Matrix& v,
                          const Vector& r, Vector& dx) {
-  PHMSE_CHECK(static_cast<Index>(r.size()) == v.rows(),
-              "gain_times_residual: residual size mismatch");
-  PHMSE_CHECK(static_cast<Index>(dx.size()) == v.cols(),
-              "gain_times_residual: output size mismatch");
-  const Index m = v.rows();
-
-  auto cost = [&](Index begin, Index end) {
-    KernelStats st;
-    const double cols = static_cast<double>(end - begin);
-    st.flops = 2.0 * cols * static_cast<double>(m);
-    st.bytes_stream = kBytes * cols * static_cast<double>(m);
-    return st;
-  };
-  auto body = [&](Index begin, Index end, int /*lane*/) {
-    for (Index j = 0; j < m; ++j) {
-      const double rj = r[static_cast<std::size_t>(j)];
-      const double* vrow = v.row(j).data();
-      for (Index i = begin; i < end; ++i) {
-        dx[static_cast<std::size_t>(i)] += rj * vrow[i];
-      }
-    }
-  };
-  ctx.parallel(Category::kMatVec, v.cols(), cost, body);
+  default_backend().gain_times_residual(ctx, v, r, dx);
 }
 
 void covariance_downdate(par::ExecContext& ctx, const Matrix& v,
                          const Matrix& g, Matrix& c) {
-  PHMSE_CHECK(v.rows() == g.rows() && v.cols() == g.cols(),
-              "covariance_downdate: V/G shape mismatch");
-  PHMSE_CHECK(c.rows() == c.cols() && c.rows() == v.cols(),
-              "covariance_downdate: C shape mismatch");
-  const Index m = v.rows();
-  const Index n = c.rows();
-
-  auto cost = [&](Index begin, Index end) {
-    KernelStats st;
-    const double rows = static_cast<double>(end - begin);
-    st.flops = 2.0 * rows * static_cast<double>(m) * static_cast<double>(n);
-    // C rows read+written once; G's compulsory traffic charged once.
-    st.bytes_stream =
-        kBytes * (2.0 * rows * static_cast<double>(n) +
-                  static_cast<double>(m) * static_cast<double>(n));
-    // The blocked GEMM keeps an m x kGemmColStrip panel of G resident and
-    // re-sweeps it once per register row tile (it was the full m x n block
-    // once per covariance row before blocking); machines with a finite
-    // modeled cache penalize overflow.
-    st.resident_bytes =
-        kBytes * static_cast<double>(m) *
-        static_cast<double>(std::min(n, kGemmColStrip));
-    st.resident_sweeps = rows / static_cast<double>(kGemmRowTile);
-    return st;
-  };
-  auto body = [&](Index begin, Index end, int /*lane*/) {
-    if (end <= begin || m <= 0) return;
-    // C[begin..end) -= (V^T G)[begin..end): a register-tiled rank-m panel
-    // update; coefficients are the columns of V.
-    gemm_tn_acc(-1.0, v.data() + begin, n, g.data(), n, c.row(begin).data(),
-                n, end - begin, m, n);
-  };
-  ctx.parallel(Category::kMatVec, n, cost, body);
+  default_backend().covariance_downdate(ctx, v, g, c);
 }
 
 void gram(par::ExecContext& ctx, const Matrix& w, Matrix& out) {
-  const Index m = w.rows();
-  const Index n = w.cols();
-  // Every entry of `out` is overwritten by the zero-initializing GEMM
-  // below, so skip resize_zero's full clearing pass.
-  out.resize(n, n);
+  default_backend().gram(ctx, w, out);
+}
 
-  auto cost = [&](Index begin, Index end) {
-    KernelStats st;
-    const double rows = static_cast<double>(end - begin);
-    st.flops = 2.0 * rows * static_cast<double>(m) * static_cast<double>(n);
-    st.bytes_stream =
-        kBytes * (2.0 * rows * static_cast<double>(n) +
-                  static_cast<double>(m) * static_cast<double>(n));
-    // Same blocked-GEMM traffic pattern as covariance_downdate: an
-    // m x kGemmColStrip panel of W resident, swept once per row tile.
-    st.resident_bytes =
-        kBytes * static_cast<double>(m) *
-        static_cast<double>(std::min(n, kGemmColStrip));
-    st.resident_sweeps = rows / static_cast<double>(kGemmRowTile);
-    return st;
-  };
-  auto body = [&](Index begin, Index end, int /*lane*/) {
-    if (end <= begin) return;
-    if (m <= 0) {
-      // Rank-0 Gram matrix: the overwrite below never runs, so clear the
-      // lane's rows explicitly.
-      for (Index i = begin; i < end; ++i) {
-        double* const row = out.row(i).data();
-        std::fill(row, row + n, 0.0);
-      }
-      return;
-    }
-    // out[begin..end) = (W^T W)[begin..end), register-tiled; the strip-wise
-    // zero-init replaces the resize_zero clearing pass.
-    gemm_tn_zero_acc(1.0, w.data() + begin, n, w.data(), n,
-                     out.row(begin).data(), n, end - begin, m, n);
-  };
-  ctx.parallel(Category::kMatMat, n, cost, body);
+CholeskyResult cholesky_factor(par::ExecContext& ctx, Matrix& a,
+                               Index block_size) {
+  return default_backend().cholesky_factor(ctx, a, block_size);
+}
+
+void cholesky(par::ExecContext& ctx, Matrix& a, Index block_size) {
+  const CholeskyResult r = cholesky_factor(ctx, a, block_size);
+  PHMSE_CHECK(r.ok(), "cholesky: matrix is not positive definite");
 }
 
 void rank1_update(par::ExecContext& ctx, const Vector& v, double coeff,

@@ -14,6 +14,11 @@
 // Every kernel takes an ExecContext so the same code runs serially, on a
 // real thread team, or on the simulated multiprocessor (src/simarch).
 //
+// These free functions dispatch through the process-default Backend
+// (backend.hpp): the same signatures are implemented by the ref / blocked /
+// simd backends, and a caller that pinned a backend (per-solve override)
+// calls through its Backend table instead.
+//
 // Exception transparency: these kernels hold no hidden state across
 // parallel() calls and add no try/catch of their own, so the ExecContext
 // contract applies verbatim — a body failure (e.g. a PHMSE_CHECK firing on

@@ -5,6 +5,8 @@
 // kernel in src/linalg/kernels.cpp is written to stream along rows.
 #pragma once
 
+#include <cstddef>
+#include <new>
 #include <span>
 #include <vector>
 
@@ -13,8 +15,46 @@
 
 namespace phmse::linalg {
 
-/// Dense vector; a plain contiguous buffer of doubles.
-using Vector = std::vector<double>;
+/// Alignment (bytes) of Matrix/Vector storage: one cache line, and at least
+/// the widest vector register any backend uses (64 B covers AVX-512 zmm).
+/// Aligned buffers keep SIMD loads from splitting cache lines and let a
+/// whole matrix row start on a line boundary.
+inline constexpr std::size_t kStorageAlignment = 64;
+
+static_assert((kStorageAlignment & (kStorageAlignment - 1)) == 0,
+              "storage alignment must be a power of two");
+static_assert(kStorageAlignment >= 64,
+              "storage must be at least cache-line (and zmm) aligned");
+static_assert(kStorageAlignment % alignof(double) == 0,
+              "storage alignment must preserve double alignment");
+
+/// Minimal allocator giving std::vector kStorageAlignment-ed buffers.  Goes
+/// through the aligned global operator new/delete so allocation-counting
+/// harnesses (tests/alloc_test.cpp) still observe every allocation.
+template <class T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kStorageAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kStorageAlignment});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Dense vector; a contiguous, 64-byte-aligned buffer of doubles.
+using Vector = std::vector<double, AlignedAllocator<double>>;
 
 /// Dense row-major matrix of doubles.
 class Matrix {
@@ -90,7 +130,7 @@ class Matrix {
  private:
   Index rows_ = 0;
   Index cols_ = 0;
-  std::vector<double> data_;
+  Vector data_;
 };
 
 }  // namespace phmse::linalg

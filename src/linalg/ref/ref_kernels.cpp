@@ -1,4 +1,4 @@
-#include "linalg/ref_kernels.hpp"
+#include "linalg/ref/ref_kernels.hpp"
 
 #include <cmath>
 

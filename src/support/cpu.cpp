@@ -1,0 +1,45 @@
+#include "support/cpu.hpp"
+
+namespace phmse::support {
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_cpu_init();
+  // __builtin_cpu_supports consults XGETBV, so these are false when the OS
+  // does not save the extended register state even if the CPU has it.
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+  f.neon = true;
+#endif
+  return f;
+}
+
+}  // namespace
+
+std::string CpuFeatures::summary() const {
+  std::string s;
+  const auto add = [&](bool have, const char* name) {
+    if (!have) return;
+    if (!s.empty()) s += ' ';
+    s += name;
+  };
+  add(avx2, "avx2");
+  add(fma, "fma");
+  add(avx512f, "avx512f");
+  add(neon, "neon");
+  if (s.empty()) s = "(none)";
+  return s;
+}
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+}  // namespace phmse::support

@@ -1,0 +1,33 @@
+// Runtime CPU feature detection for the linalg backend dispatch seam.
+//
+// The simd backend (src/linalg/simd) compiles its AVX2/AVX-512 microkernels
+// with per-function target attributes, so the binary always contains every
+// variant the compiler supports; which one actually runs is decided once at
+// startup from the flags reported here.  On non-x86 targets the x86 fields
+// are simply false and NEON availability is a compile-time fact
+// (__ARM_NEON), mirrored into `neon` so callers have one struct to query.
+#pragma once
+
+#include <string>
+
+namespace phmse::support {
+
+/// Feature flags of the CPU this process is running on.
+struct CpuFeatures {
+  // x86-64 vector extensions (false on other architectures).
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+
+  // AArch64 Advanced SIMD (a compile-time property of the target).
+  bool neon = false;
+
+  /// Human-readable flag list, e.g. "avx2 fma avx512f"; "(none)" when no
+  /// SIMD extension is available.  Used by backend-selection errors.
+  std::string summary() const;
+};
+
+/// The running CPU's features, detected once and cached (thread-safe).
+const CpuFeatures& cpu_features();
+
+}  // namespace phmse::support

@@ -13,6 +13,7 @@
 #include "core/schedule.hpp"
 #include "core/work_model.hpp"
 #include "engine/engine.hpp"
+#include "linalg/backend.hpp"
 #include "molecule/rna_helix.hpp"
 #include "support/rng.hpp"
 
@@ -274,6 +275,62 @@ TEST(Engine, DescribeMentionsTheScheduleAndCounts) {
 TEST(Engine, EmptyResultThrowsOnPosterior) {
   Result r;
   EXPECT_THROW(r.posterior(), phmse::Error);
+}
+
+TEST(Engine, ReportRecordsTheResolvedBackend) {
+  Fixture f;
+  // Default options resolve to the process-default backend.
+  Plan plan = Engine::compile(f.problem(), Fixture::options(1));
+  EXPECT_EQ(plan.solve(f.initial).report.backend,
+            linalg::default_backend().name);
+
+  // An explicit per-solve backend is pinned at compile and reported.
+  for (const char* name : {"ref", "blocked", "simd"}) {
+    CompileOptions o = Fixture::options(1);
+    o.solve.backend = name;
+    Plan pinned = Engine::compile(f.problem(), o);
+    EXPECT_EQ(pinned.solve(f.initial).report.backend, name);
+  }
+}
+
+TEST(Engine, PinnedBackendsAgreeDifferentially) {
+  // The same problem solved under each pinned backend lands within
+  // differential round-off of the ref-backend posterior (the backends sum
+  // in different orders, so bitwise equality is not expected).
+  Fixture f;
+  CompileOptions o = Fixture::options(1);
+  o.solve.backend = "ref";
+  Plan ref_plan = Engine::compile(f.problem(), o);
+  const Result ref_res = ref_plan.solve(f.initial);
+  const linalg::Vector ref_x = ref_res.posterior().x;
+
+  for (const char* name : {"blocked", "simd"}) {
+    o.solve.backend = name;
+    Plan plan = Engine::compile(f.problem(), o);
+    const Result res = plan.solve(f.initial);
+    ASSERT_EQ(res.posterior().x.size(), ref_x.size()) << name;
+    for (std::size_t i = 0; i < ref_x.size(); ++i) {
+      EXPECT_NEAR(res.posterior().x[i], ref_x[i],
+                  1e-8 * std::max(1.0, std::abs(ref_x[i])))
+          << name << " coord " << i;
+    }
+  }
+}
+
+TEST(Engine, UnknownBackendFailsFastAtCompile) {
+  Fixture f;
+  CompileOptions o = Fixture::options(1);
+  o.solve.backend = "tpu";
+  try {
+    Plan plan = Engine::compile(f.problem(), o);
+    FAIL() << "expected phmse::Error";
+  } catch (const phmse::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown backend 'tpu'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("valid backends: ref, blocked, simd"),
+              std::string::npos)
+        << msg;
+  }
 }
 
 }  // namespace

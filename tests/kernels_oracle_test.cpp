@@ -22,7 +22,7 @@
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/kernels.hpp"
-#include "linalg/ref_kernels.hpp"
+#include "linalg/ref/ref_kernels.hpp"
 #include "parallel/team.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
