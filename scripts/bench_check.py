@@ -39,6 +39,14 @@ analogue: wherever a service document contains both a cold and a warm row
 for the same configuration, warm solves/sec must be at least FACTOR times
 cold solves/sec (DESIGN.md §10 — the plan cache must pay for itself).
 
+--max-deadline-overhead [FRACTION] (default 0.02 when given) gates the
+deadline machinery: wherever a service document contains both a warm and
+a deadline row for the same configuration, deadline solves/sec must not
+fall below warm solves/sec by more than the fraction (DESIGN.md §13 —
+the deadline row is the warm workload with a generous never-firing
+budget on every request, so warm/deadline is the pure cost of arming the
+cancel token and polling it at batch/node boundaries).
+
 --min-simd-speedup [FACTOR] (default 1.5 when given) gates the simd
 backend's microkernels: for each gemm-panel kernel (covariance_downdate,
 gram) the geometric mean over the single-thread shapes of
@@ -89,7 +97,7 @@ KNOWN_KERNELS = {
     "plan_solve_incremental",
 }
 KNOWN_IMPLS = {"simd", "blocked", "ref", "engine"}
-KNOWN_MODES = {"cold", "warm"}
+KNOWN_MODES = {"cold", "warm", "deadline"}
 
 KERNEL_FIELDS = {
     "kernel": str,
@@ -115,6 +123,9 @@ SERVICE_FIELDS = {
     "p50_ms": float,
     "p95_ms": float,
     "p99_ms": float,
+    "queue_p50_ms": float,
+    "queue_p95_ms": float,
+    "queue_p99_ms": float,
     "cache_hits": int,
     "cache_misses": int,
 }
@@ -364,6 +375,47 @@ def check_warm_speedup(doc, path, min_speedup):
     return violations
 
 
+def check_deadline_overhead(doc, path, max_overhead):
+    """Intra-document deadline vs warm throughput gate for service docs.
+
+    Returns the number of violations.  Both rows come from the same
+    back-to-back run (bench/service_regress) over identical cached
+    traffic — the deadline row merely arms a 30s budget that never
+    fires — so warm/deadline - 1 is the cancel-token polling overhead
+    independent of the machine's absolute speed.
+    """
+    if not is_service(doc):
+        print(f"bench_check: note: {path} is a kernel document; "
+              "deadline overhead not checked")
+        return 0
+
+    def config(rec):
+        return (rec["workload"], rec["tenants"], rec["requests"],
+                rec["workers"])
+
+    warm = {config(r): r for r in doc["results"] if r["mode"] == "warm"}
+    deadline = {config(r): r for r in doc["results"]
+                if r["mode"] == "deadline"}
+    violations = 0
+    checked = 0
+    for cfg in sorted(warm.keys() & deadline.keys()):
+        checked += 1
+        overhead = (warm[cfg]["solves_per_sec"] /
+                    deadline[cfg]["solves_per_sec"] - 1.0)
+        tag = "{} tenants={} requests={} workers={}".format(*cfg)
+        if overhead > max_overhead:
+            violations += 1
+            verdict = "REGRESS"
+        else:
+            verdict = "ok"
+        print("  {:8s} deadline overhead {} {:+.2f}% (limit {:+.2f}%)"
+              .format(verdict, tag, 100.0 * overhead, 100.0 * max_overhead))
+    if not checked:
+        print(f"bench_check: note: {path} has no warm/deadline row pair; "
+              "deadline overhead not checked")
+    return violations
+
+
 def compare(baseline, current, tolerance):
     """Returns (lines, regression_count) for the matched configurations."""
     service = is_service(baseline)
@@ -432,6 +484,12 @@ def main():
                          "solves/sec within a service document "
                          "(default 5.0 when the flag is given); "
                          "not silenced by --report-only")
+    ap.add_argument("--max-deadline-overhead", metavar="FRACTION",
+                    type=float, nargs="?", const=0.02, default=None,
+                    help="fail if deadline solves/sec falls below warm "
+                         "solves/sec by more than FRACTION within a service "
+                         "document (default 0.02 when the flag is given); "
+                         "not silenced by --report-only")
     ap.add_argument("--min-simd-speedup", metavar="FACTOR",
                     type=float, nargs="?", const=1.5, default=None,
                     help="fail if the geometric mean of blocked/simd seconds "
@@ -451,6 +509,9 @@ def main():
         ap.error("--max-robustness-overhead must be >= 0")
     if args.min_warm_speedup is not None and args.min_warm_speedup < 1:
         ap.error("--min-warm-speedup must be >= 1")
+    if args.max_deadline_overhead is not None \
+            and args.max_deadline_overhead < 0:
+        ap.error("--max-deadline-overhead must be >= 0")
     if args.min_incremental_speedup is not None \
             and args.min_incremental_speedup < 1:
         ap.error("--min-incremental-speedup must be >= 1")
@@ -467,6 +528,9 @@ def main():
         if args.min_warm_speedup is not None:
             bad += check_warm_speedup(doc, args.validate,
                                       args.min_warm_speedup)
+        if args.max_deadline_overhead is not None:
+            bad += check_deadline_overhead(doc, args.validate,
+                                           args.max_deadline_overhead)
         if args.min_incremental_speedup is not None:
             bad += check_incremental_speedup(doc, args.validate,
                                              args.min_incremental_speedup)
@@ -508,6 +572,9 @@ def main():
     if args.min_warm_speedup is not None:
         intra_violations += check_warm_speedup(
             current, args.current, args.min_warm_speedup)
+    if args.max_deadline_overhead is not None:
+        intra_violations += check_deadline_overhead(
+            current, args.current, args.max_deadline_overhead)
     if args.min_incremental_speedup is not None:
         intra_violations += check_incremental_speedup(
             current, args.current, args.min_incremental_speedup)

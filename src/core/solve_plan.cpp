@@ -16,6 +16,27 @@ namespace {
 using est::NodeState;
 using linalg::Vector;
 
+// Binds a cancel token onto a context for the duration of a run, restoring
+// whatever the caller had bound.  A null token leaves the context alone, so
+// callers that bound their own token directly keep it.
+class ScopedCancelBind {
+ public:
+  ScopedCancelBind(par::ExecContext& ctx, const par::CancelToken* token)
+      : ctx_(token != nullptr ? &ctx : nullptr),
+        prev_(token != nullptr ? ctx.cancel_token() : nullptr) {
+    if (ctx_ != nullptr) ctx_->bind_cancel_token(token);
+  }
+  ~ScopedCancelBind() {
+    if (ctx_ != nullptr) ctx_->bind_cancel_token(prev_);
+  }
+  ScopedCancelBind(const ScopedCancelBind&) = delete;
+  ScopedCancelBind& operator=(const ScopedCancelBind&) = delete;
+
+ private:
+  par::ExecContext* ctx_;
+  const par::CancelToken* prev_;
+};
+
 double rms_delta(const Vector& a, const Vector& b) {
   PHMSE_CHECK(a.size() == b.size(), "state dimension changed between cycles");
   if (a.empty()) return 0.0;
@@ -230,6 +251,13 @@ void SolvePlan::assemble_dirty_children_(par::ExecContext& ctx, NodeWork& w) {
 void SolvePlan::update_node_(par::ExecContext& ctx, NodeWork& w,
                              const Vector& x0) {
   HierNode& node = *w.node;
+  // Node-boundary cancellation poll (DESIGN.md §13): abort before this
+  // node's state is touched.  The batch sweep below polls again between
+  // batches through the same context binding.
+  if (ctx.cancel_pending()) {
+    par::throw_cancelled(*ctx.cancel_token(), node.atom_begin, node.atom_end,
+                         -1);
+  }
   if (node.is_leaf()) {
     est::fill_state_from_full(w.state, x0, node.atom_begin, node.atom_end,
                               options_.prior_sigma);
@@ -279,21 +307,41 @@ PlanRunStats SolvePlan::run_cycles_(const Vector& initial_x,
       if (!exec_[i]) nodes_[i].report.merge_from(nodes_[i].sweep_report);
     }
   }
-  for (int c = 0; c < options_.max_cycles; ++c) {
-    // Later cycles start from the previous cycle's root posterior — a
-    // globally changed input — so the dirty schedule applies to cycle 1
-    // only and cycles >= 2 execute every node.
-    cycle_incremental_ = incremental && c == 0;
-    pass(static_cast<const Vector&>(prev_x_));
-    ++stats.cycles;
-    const NodeState& root = nodes_.back().state;
-    stats.last_cycle_delta = rms_delta(root.x, prev_x_);
-    prev_x_ = root.x;
-    if (options_.tolerance > 0.0 &&
-        stats.last_cycle_delta < options_.tolerance) {
-      stats.converged = true;
-      break;
+  try {
+    for (int c = 0; c < options_.max_cycles; ++c) {
+      // Later cycles start from the previous cycle's root posterior — a
+      // globally changed input — so the dirty schedule applies to cycle 1
+      // only and cycles >= 2 execute every node.
+      cycle_incremental_ = incremental && c == 0;
+      pass(static_cast<const Vector&>(prev_x_));
+      ++stats.cycles;
+      const NodeState& root = nodes_.back().state;
+      stats.last_cycle_delta = rms_delta(root.x, prev_x_);
+      prev_x_ = root.x;
+      if (options_.tolerance > 0.0 &&
+          stats.last_cycle_delta < options_.tolerance) {
+        stats.converged = true;
+        break;
+      }
     }
+  } catch (const par::CancelledError& e) {
+    // Transactional abort (DESIGN.md §13): has_checkpoint_ is already false
+    // and the dirty set stays undrained, so the next exact run re-executes
+    // every node from the caller's inputs — bitwise identical to never
+    // having been cancelled.  Record what committed before the stop: the
+    // error surfaces only after every executor lane has joined, so reading
+    // the per-node tallies races with nothing.
+    cycle_incremental_ = false;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const NodeWork& w = nodes_[i];
+      report_.merge(i, w.node->atom_begin, w.node->atom_end, w.report);
+    }
+    report_.cancelled = true;
+    report_.cancelled_by_deadline = e.deadline_expired;
+    report_.cancelled_atom_begin = e.atom_begin;
+    report_.cancelled_atom_end = e.atom_end;
+    report_.cancelled_batch = e.batch;
+    throw;
   }
   cycle_incremental_ = false;
   stats.incremental = incremental;
@@ -461,6 +509,7 @@ bool SolvePlan::try_run_lowrank(par::ExecContext& ctx, const Vector& initial_x,
 PlanRunStats SolvePlan::run_impl_(par::ExecContext& ctx,
                                   const Vector& initial_x,
                                   bool want_incremental) {
+  const ScopedCancelBind bind(ctx, cancel_);
   return run_cycles_(initial_x, want_incremental, [&](const Vector& x0) {
     // nodes_ is post-order, so children are always updated before their
     // parent reads them: the recursion flattens to one loop.
@@ -496,6 +545,10 @@ PlanRunStats SolvePlan::run_sim_impl_(simarch::SimMachine& machine,
       machine.sync_range(w.node->proc_first, w.node->proc_count);
       simarch::SimContext ctx(machine, w.node->proc_first,
                               w.node->proc_count);
+      // The simulated clock is virtual but the deadline clock is real:
+      // polls read the host's steady clock, so a wall-clock budget bounds
+      // a simulated solve exactly like a real one.
+      ctx.bind_cancel_token(cancel_);
       update_node_(ctx, w, x0);
     }
   });
@@ -532,6 +585,10 @@ void SolvePlan::run_threaded_node_(par::ThreadPool& pool, std::size_t index,
     if (!cycle_incremental_ || exec_[ci]) ++remote_count;
   }
   par::TaskGroup group(remote_count);
+  // A queued subtree task that has not started when the token fires is
+  // never entered (TaskGroup records CancelledError in its place), so a
+  // cancelled threaded run stops at task granularity, not tree granularity.
+  group.bind_cancel_token(cancel_);
   for (std::size_t ci : w.remote_children) {
     if (cycle_incremental_ && !exec_[ci]) continue;
     HierNode* child = nodes_[ci].node;
@@ -557,6 +614,7 @@ void SolvePlan::run_threaded_node_(par::ThreadPool& pool, std::size_t index,
   group.rethrow_any();
 
   par::TeamContext ctx(pool, w.node->proc_first, w.node->proc_count);
+  ctx.bind_cancel_token(cancel_);
   update_node_(ctx, w, x0);
   w.profile += ctx.profile();
 }
@@ -568,6 +626,7 @@ PlanRunStats SolvePlan::run_threaded_impl_(par::ThreadPool& pool,
   PlanRunStats stats = run_cycles_(initial_x, want_incremental,
                                    [&](const Vector& x0) {
     par::TaskGroup group(1);
+    group.bind_cancel_token(cancel_);
     try {
       pool.submit(hierarchy_->root().proc_first, [&] {
         group.run([&] { run_threaded_node_(pool, nodes_.size() - 1, x0); });

@@ -215,6 +215,22 @@ class SolvePlan {
   /// and re-established when the run completes.
   bool has_checkpoint() const { return has_checkpoint_; }
 
+  /// Binds a cooperative cancellation token observed by every executor
+  /// (DESIGN.md §13): the passes poll it at node boundaries, the batch
+  /// sweep polls it between batches, and the threaded recursion's task
+  /// groups check it before entering queued subtree tasks.  A poll that
+  /// observes the stop throws par::CancelledError out of the run — after
+  /// every lane has joined — and the abort is transactional by
+  /// construction: the checkpoint was already invalidated at run start and
+  /// the dirty marks drain only on completion, so the plan stays reusable
+  /// and the NEXT exact solve re-executes every node, bitwise identical to
+  /// a run that was never cancelled (the per-batch update itself commits
+  /// all-or-nothing, so no node state is ever torn).  The aborted run's
+  /// report_ records cancelled + where (last_report()).  Null detaches; the
+  /// token must outlive every run started while it is bound.
+  void bind_cancel(const par::CancelToken* token) { cancel_ = token; }
+  const par::CancelToken* cancel_token() const { return cancel_; }
+
   /// Nodes currently marked observation-dirty (before ancestor
   /// propagation, which happens when the next incremental run starts).
   std::size_t num_dirty_nodes() const;
@@ -321,6 +337,8 @@ class SolvePlan {
   /// (set on entry, cleared on success).  A subsequent low-rank call
   /// refuses until an exact run has rebuilt the root.
   bool lowrank_in_progress_ = false;
+  /// Cooperative cancellation token (see bind_cancel); null = none.
+  const par::CancelToken* cancel_ = nullptr;
   /// The initial state of the last completed single-cycle run; leaves whose
   /// slice differs bitwise from the incoming initial_x are re-executed.
   linalg::Vector last_initial_;

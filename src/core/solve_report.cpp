@@ -35,6 +35,14 @@ std::string SolveReport::summary() const {
        << nodes_recomputed << " recomputed";
     if (low_rank) os << " (low-rank root update)";
   }
+  if (cancelled) {
+    os << "; " << (cancelled_by_deadline ? "deadline expired" : "cancelled");
+    if (cancelled_atom_begin >= 0 && cancelled_atom_end >= 0) {
+      os << " at atoms [" << cancelled_atom_begin << ", "
+         << cancelled_atom_end << ")";
+    }
+    if (cancelled_batch >= 0) os << " batch " << cancelled_batch;
+  }
   return os.str();
 }
 

@@ -58,6 +58,19 @@ struct SolveReport {
   /// True when the run was the low-rank perturbative root update (first-
   /// order, NOT bitwise-equal to a from-scratch solve; DESIGN.md §11).
   bool low_rank = false;
+  /// Cooperative-cancellation record (DESIGN.md §13).  When a run aborts on
+  /// a CancelToken, the plan fills these before rethrowing: `cancelled`
+  /// marks the run, `cancelled_by_deadline` distinguishes deadline expiry
+  /// from an explicit cancel(), and the location fields name the first poll
+  /// site that observed the stop (the node's atom range and the batch
+  /// ordinal; -1 = unknown, e.g. a task skipped before it started).  The
+  /// tallies above then cover only the batches that committed before the
+  /// abort.  A completed run always reads cancelled == false.
+  bool cancelled = false;
+  bool cancelled_by_deadline = false;
+  Index cancelled_atom_begin = -1;
+  Index cancelled_atom_end = -1;
+  Index cancelled_batch = -1;
   /// Name of the kernel backend the run dispatched through ("ref",
   /// "blocked", "simd"; see linalg/backend.hpp), resolved once at plan
   /// build.  Registry names are short, so the assignment stays inside the
@@ -81,6 +94,9 @@ struct SolveReport {
     nodes_recomputed = nodes_reused = 0;
     incremental = false;
     low_rank = false;
+    cancelled = false;
+    cancelled_by_deadline = false;
+    cancelled_atom_begin = cancelled_atom_end = cancelled_batch = -1;
     backend.clear();    // SSO — no alloc, no capacity to lose
     incidents.clear();  // keeps capacity — no alloc on the next clean run
   }

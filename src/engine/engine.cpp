@@ -175,12 +175,9 @@ Plan Engine::compile(const Problem& problem, const CompileOptions& options) {
   return plan;
 }
 
-namespace {
-
-Result make_result(const core::SolvePlan& plan,
-                   const core::PlanRunStats& stats, double seconds) {
+Result Plan::finish_result_(const core::PlanRunStats& stats, double seconds) {
   Result r;
-  r.state = &plan.root_state();
+  r.state = &plan_->root_state();
   r.cycles = stats.cycles;
   r.last_cycle_delta = stats.last_cycle_delta;
   r.converged = stats.converged;
@@ -188,11 +185,17 @@ Result make_result(const core::SolvePlan& plan,
   // Copying the report is cheap on a clean solve: the counters are plain
   // scalars and the incident vector is empty (a size-0 copy does not
   // allocate), so the steady-state path stays allocation-free.
-  r.report = plan.last_report();
+  r.report = plan_->last_report();
+  // Feed the degradation rung's exact-path cost estimate (DESIGN.md §13).
+  // Low-rank runs are excluded — they are the degraded answer, not the
+  // exact path the estimate must predict.
+  if (!stats.low_rank) {
+    exact_seconds_ewma_ = exact_seconds_ewma_ == 0.0
+                              ? seconds
+                              : 0.7 * exact_seconds_ewma_ + 0.3 * seconds;
+  }
   return r;
 }
-
-}  // namespace
 
 Plan::SolveFlight::SolveFlight(std::atomic<bool>& busy) : busy_(busy) {
   PHMSE_CHECK(!busy_.exchange(true, std::memory_order_acq_rel),
@@ -215,7 +218,7 @@ Result Plan::solve(par::ExecContext& ctx, const linalg::Vector& initial_x) {
   const perf::Profile before = ctx.profile();
   Stopwatch sw;
   const core::PlanRunStats stats = plan_->run(ctx, initial_x);
-  Result r = make_result(*plan_, stats, sw.seconds());
+  Result r = finish_result_(stats, sw.seconds());
   r.breakdown = ctx.profile().minus(before);
   clear_pending_();
   return r;
@@ -225,7 +228,7 @@ Result Plan::solve(par::ThreadPool& pool, const linalg::Vector& initial_x) {
   const SolveFlight flight(*in_solve_);
   Stopwatch sw;
   const core::PlanRunStats stats = plan_->run_threaded(pool, initial_x);
-  Result r = make_result(*plan_, stats, sw.seconds());
+  Result r = finish_result_(stats, sw.seconds());
   r.breakdown = plan_->threaded_profile();
   clear_pending_();
   return r;
@@ -236,7 +239,7 @@ Result Plan::solve(simarch::SimMachine& machine,
   const SolveFlight flight(*in_solve_);
   Stopwatch sw;
   const core::PlanRunStats stats = plan_->run_sim(machine, initial_x);
-  Result r = make_result(*plan_, stats, sw.seconds());
+  Result r = finish_result_(stats, sw.seconds());
   r.vtime = machine.elapsed();
   r.breakdown = machine.reported_profile();
   clear_pending_();
@@ -253,7 +256,7 @@ Result Plan::solve_incremental(par::ExecContext& ctx,
   const perf::Profile before = ctx.profile();
   Stopwatch sw;
   const core::PlanRunStats stats = plan_->run_incremental(ctx, initial_x);
-  Result r = make_result(*plan_, stats, sw.seconds());
+  Result r = finish_result_(stats, sw.seconds());
   r.breakdown = ctx.profile().minus(before);
   clear_pending_();
   return r;
@@ -265,7 +268,7 @@ Result Plan::solve_incremental(par::ThreadPool& pool,
   Stopwatch sw;
   const core::PlanRunStats stats =
       plan_->run_threaded_incremental(pool, initial_x);
-  Result r = make_result(*plan_, stats, sw.seconds());
+  Result r = finish_result_(stats, sw.seconds());
   r.breakdown = plan_->threaded_profile();
   clear_pending_();
   return r;
@@ -277,45 +280,155 @@ Result Plan::solve_incremental(simarch::SimMachine& machine,
   Stopwatch sw;
   const core::PlanRunStats stats =
       plan_->run_sim_incremental(machine, initial_x);
-  Result r = make_result(*plan_, stats, sw.seconds());
+  Result r = finish_result_(stats, sw.seconds());
   r.vtime = machine.elapsed();
   r.breakdown = machine.reported_profile();
   clear_pending_();
   return r;
 }
 
+bool Plan::try_lowrank_result_(const linalg::Vector& initial_x, Result* out) {
+  const SolveFlight flight(*in_solve_);
+  if (pending_.empty() || pending_overflow_) return false;
+  // Materialize the rank-k work-list: each changed slot's owning node
+  // and in-node index (resolving its archived Jacobian row), the value
+  // the last completed solve applied, and the currently bound one.
+  changes_scratch_.clear();
+  changes_scratch_.reserve(pending_.size());
+  for (const PendingChange& p : pending_) {
+    const core::AssignedSlot& slot = slots_[p.slot];
+    changes_scratch_.push_back({slot.node, slot.index, p.old_observed,
+                                slot.node->constraints[slot.index].observed});
+  }
+  const perf::Profile before = serial_.profile();
+  Stopwatch sw;
+  core::PlanRunStats stats;
+  if (!plan_->try_run_lowrank(serial_, initial_x, changes_scratch_, &stats)) {
+    return false;
+  }
+  *out = finish_result_(stats, sw.seconds());
+  out->breakdown = serial_.profile().minus(before);
+  pending_.clear();
+  pending_overflow_ = false;
+  return true;
+}
+
 Result Plan::solve_lowrank(const linalg::Vector& initial_x) {
-  {
-    const SolveFlight flight(*in_solve_);
-    if (!pending_.empty() && !pending_overflow_) {
-      // Materialize the rank-k work-list: each changed slot's owning node
-      // and in-node index (resolving its archived Jacobian row), the value
-      // the last completed solve applied, and the currently bound one.
-      changes_scratch_.clear();
-      changes_scratch_.reserve(pending_.size());
-      for (const PendingChange& p : pending_) {
-        const core::AssignedSlot& slot = slots_[p.slot];
-        changes_scratch_.push_back(
-            {slot.node, slot.index, p.old_observed,
-             slot.node->constraints[slot.index].observed});
-      }
-      const perf::Profile before = serial_.profile();
-      Stopwatch sw;
-      core::PlanRunStats stats;
-      if (plan_->try_run_lowrank(serial_, initial_x, changes_scratch_,
-                                 &stats)) {
-        Result r = make_result(*plan_, stats, sw.seconds());
-        r.breakdown = serial_.profile().minus(before);
-        pending_.clear();
-        pending_overflow_ = false;
-        return r;
-      }
-    }
-  }  // release the single-flight guard before the fallback re-enters it
+  Result r;
+  if (try_lowrank_result_(initial_x, &r)) return r;
   // Exact fallback: the changed slots already marked their nodes dirty, so
   // the incremental path (itself falling back to a full run when no
   // checkpoint is valid) gives the bitwise-reproducible answer.
   return solve_incremental(serial_, initial_x);
+}
+
+const par::CancelToken* Plan::arm_controls_(const SolveOptions& controls) {
+  if (controls.deadline_seconds > 0.0) {
+    // The plan's scratch token carries the deadline clock; linking keeps the
+    // caller's token (if any) authoritative for explicit cancellation
+    // without ever mutating it.
+    run_token_->reset();
+    run_token_->link(controls.cancel);
+    run_token_->set_deadline_after(controls.deadline_seconds);
+    return run_token_.get();
+  }
+  return controls.cancel;
+}
+
+template <typename SolveFn>
+Result Plan::solve_controlled_(const SolveOptions& controls,
+                               const linalg::Vector& initial_x,
+                               SolveFn&& do_solve) {
+  const par::CancelToken* token = arm_controls_(controls);
+  if (token == nullptr) return do_solve();  // uncontrolled: zero overhead
+  if (token->stop_requested()) {
+    // Shed before touching the plan: a budget spent (or a cancel raised)
+    // before the solve starts must not burn a single batch.
+    if (token->expired()) {
+      throw DeadlineError("solve: deadline expired before the solve started");
+    }
+    throw par::CancelledError("solve: cancelled before the solve started",
+                              /*deadline=*/false);
+  }
+  if (controls.degrade_lowrank && exact_seconds_ewma_ > 0.0) {
+    // Degradation is decided UP FRONT: once an exact attempt is cancelled
+    // its checkpoint is gone and the low-rank preconditions can no longer
+    // hold, so a reactive fallback would be too late.  1.5x is a safety
+    // factor over the EWMA of past exact runs.
+    constexpr double kDegradeSafety = 1.5;
+    if (token->remaining_seconds() < kDegradeSafety * exact_seconds_ewma_) {
+      Result degraded;
+      if (try_lowrank_result_(initial_x, &degraded)) return degraded;
+    }
+  }
+  plan_->bind_cancel(token);
+  try {
+    Result r = do_solve();
+    plan_->bind_cancel(nullptr);
+    return r;
+  } catch (const par::CancelledError& e) {
+    plan_->bind_cancel(nullptr);
+    if (e.deadline_expired) {
+      throw DeadlineError(std::string("solve: ") + e.what());
+    }
+    throw;
+  } catch (...) {
+    plan_->bind_cancel(nullptr);
+    throw;
+  }
+}
+
+Result Plan::solve(const linalg::Vector& initial_x,
+                   const SolveOptions& controls) {
+  return solve_controlled_(controls, initial_x,
+                           [&] { return solve(initial_x); });
+}
+
+Result Plan::solve(par::ExecContext& ctx, const linalg::Vector& initial_x,
+                   const SolveOptions& controls) {
+  return solve_controlled_(controls, initial_x,
+                           [&] { return solve(ctx, initial_x); });
+}
+
+Result Plan::solve(par::ThreadPool& pool, const linalg::Vector& initial_x,
+                   const SolveOptions& controls) {
+  return solve_controlled_(controls, initial_x,
+                           [&] { return solve(pool, initial_x); });
+}
+
+Result Plan::solve(simarch::SimMachine& machine,
+                   const linalg::Vector& initial_x,
+                   const SolveOptions& controls) {
+  return solve_controlled_(controls, initial_x,
+                           [&] { return solve(machine, initial_x); });
+}
+
+Result Plan::solve_incremental(const linalg::Vector& initial_x,
+                               const SolveOptions& controls) {
+  return solve_controlled_(controls, initial_x,
+                           [&] { return solve_incremental(initial_x); });
+}
+
+Result Plan::solve_incremental(par::ExecContext& ctx,
+                               const linalg::Vector& initial_x,
+                               const SolveOptions& controls) {
+  return solve_controlled_(controls, initial_x,
+                           [&] { return solve_incremental(ctx, initial_x); });
+}
+
+Result Plan::solve_incremental(par::ThreadPool& pool,
+                               const linalg::Vector& initial_x,
+                               const SolveOptions& controls) {
+  return solve_controlled_(controls, initial_x,
+                           [&] { return solve_incremental(pool, initial_x); });
+}
+
+Result Plan::solve_incremental(simarch::SimMachine& machine,
+                               const linalg::Vector& initial_x,
+                               const SolveOptions& controls) {
+  return solve_controlled_(
+      controls, initial_x,
+      [&] { return solve_incremental(machine, initial_x); });
 }
 
 void Plan::clear_pending_() {

@@ -37,6 +37,39 @@
 
 namespace phmse::engine {
 
+/// A solve exceeded its deadline (DESIGN.md §13): either the budget was
+/// already spent when the solve was asked to start, or a cancellation poll
+/// observed the expired deadline clock mid-flight and the run aborted
+/// transactionally.  The plan stays reusable either way — the next exact
+/// solve is bitwise identical to one that was never interrupted.
+class DeadlineError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Per-solve time/cancellation controls (DESIGN.md §13), accepted by the
+/// solve/solve_incremental overloads below.  Orthogonal to the compile-time
+/// HierSolveOptions: these arm one run, not the plan.
+struct SolveOptions {
+  /// Wall-clock budget for this solve, measured from the call; <= 0 means
+  /// unbounded.  On expiry the executors abort at the next batch/node
+  /// boundary and the call throws DeadlineError.
+  double deadline_seconds = 0.0;
+  /// External cancellation (e.g. a service watchdog); may be null, must
+  /// outlive the call.  An explicit cancel() surfaces as
+  /// par::CancelledError unless the token's own deadline has also passed
+  /// (then DeadlineError — the two mean the same thing to the caller).
+  const par::CancelToken* cancel = nullptr;
+  /// Opt-in graceful degradation: when the armed deadline is too tight for
+  /// the exact path (judged against an EWMA of this plan's past exact solve
+  /// times), answer with the low-rank perturbative root update instead —
+  /// first-order, Result::report.low_rank marks it — provided its
+  /// preconditions hold (valid checkpoint, <= 64 pending changes, same
+  /// initial_x; see solve_lowrank).  When they do not, the exact path runs
+  /// anyway and takes its chances with the deadline.
+  bool degrade_lowrank = false;
+};
+
 /// The observation-independent problem statement: how many atoms, which
 /// measurements, and how to decompose the molecule into a hierarchy.
 struct Problem {
@@ -168,6 +201,34 @@ class Plan {
   Result solve_incremental(simarch::SimMachine& machine,
                            const linalg::Vector& initial_x);
 
+  /// Deadline/cancellation-controlled variants (DESIGN.md §13).  The run
+  /// observes `controls` at every batch and node boundary on whichever
+  /// executor is used; on deadline expiry the solve throws DeadlineError
+  /// (explicit external cancellation surfaces as par::CancelledError), the
+  /// plan's checkpoint machinery guarantees the abort is transactional, and
+  /// — with controls.degrade_lowrank — a deadline too tight for the exact
+  /// path is answered by the low-rank root update when its preconditions
+  /// hold.  With default-constructed controls these are exactly the
+  /// uncontrolled overloads above.
+  Result solve(const linalg::Vector& initial_x, const SolveOptions& controls);
+  Result solve(par::ExecContext& ctx, const linalg::Vector& initial_x,
+               const SolveOptions& controls);
+  Result solve(par::ThreadPool& pool, const linalg::Vector& initial_x,
+               const SolveOptions& controls);
+  Result solve(simarch::SimMachine& machine, const linalg::Vector& initial_x,
+               const SolveOptions& controls);
+  Result solve_incremental(const linalg::Vector& initial_x,
+                           const SolveOptions& controls);
+  Result solve_incremental(par::ExecContext& ctx,
+                           const linalg::Vector& initial_x,
+                           const SolveOptions& controls);
+  Result solve_incremental(par::ThreadPool& pool,
+                           const linalg::Vector& initial_x,
+                           const SolveOptions& controls);
+  Result solve_incremental(simarch::SimMachine& machine,
+                           const linalg::Vector& initial_x,
+                           const SolveOptions& controls);
+
   /// Low-rank perturbative re-solve (DESIGN.md §11): when only k observation
   /// values changed since the last completed single-cycle run, fold them
   /// into the checkpointed root posterior as one rank-k Kalman shift —
@@ -196,6 +257,11 @@ class Plan {
   /// True when the plan's per-node states form a reusable checkpoint (the
   /// last run completed in a single cycle).
   bool has_checkpoint() const { return plan_->has_checkpoint(); }
+
+  /// The most recent run's report — including a run that threw: a
+  /// cancelled/over-deadline solve produces no Result, but the report's
+  /// `cancelled*` fields record where it stopped (DESIGN.md §13).
+  const core::SolveReport& last_report() const { return plan_->last_report(); }
 
   /// Nodes marked observation-dirty by set_observations since the last
   /// completed run (ancestor propagation happens at solve time).
@@ -273,6 +339,25 @@ class Plan {
 
   void clear_pending_();
 
+  /// Builds a Result from a finished core run and feeds the exact-path
+  /// duration EWMA the degradation rung consults (low-rank runs excluded).
+  Result finish_result_(const core::PlanRunStats& stats, double seconds);
+  /// Arms run_token_ from `controls` and returns the token the run should
+  /// observe (null = uncontrolled).  The caller's token is never mutated.
+  const par::CancelToken* arm_controls_(const SolveOptions& controls);
+  /// The low-rank fast path under its own single-flight guard:
+  /// materializes the pending work-list and attempts try_run_lowrank;
+  /// false = preconditions refused, the caller falls back.
+  bool try_lowrank_result_(const linalg::Vector& initial_x, Result* out);
+  /// Shared spine of every controlled overload: arm the token, shed an
+  /// already-spent budget, maybe degrade, run `do_solve` with the token
+  /// bound to the core plan, translate deadline-caused CancelledError into
+  /// DeadlineError.
+  template <typename SolveFn>
+  Result solve_controlled_(const SolveOptions& controls,
+                           const linalg::Vector& initial_x,
+                           SolveFn&& do_solve);
+
   std::unique_ptr<core::Hierarchy> hierarchy_;
   std::vector<core::AssignedSlot> slots_;
   std::unique_ptr<core::SolvePlan> plan_;
@@ -291,6 +376,15 @@ class Plan {
   /// with a solve in flight is a caller bug the guard also catches).
   std::unique_ptr<std::atomic<bool>> in_solve_ =
       std::make_unique<std::atomic<bool>>(false);
+  /// Scratch token for deadline-armed solves (boxed: tokens hold atomics
+  /// and must not move while bound).  Reset per controlled solve; links to
+  /// the caller's SolveOptions::cancel so either source stops the run.
+  std::unique_ptr<par::CancelToken> run_token_ =
+      std::make_unique<par::CancelToken>();
+  /// EWMA of this plan's completed exact (non-low-rank) solve durations —
+  /// the degradation rung's estimate of what the exact path would cost.
+  /// 0 until the first exact solve completes.
+  double exact_seconds_ewma_ = 0.0;
 };
 
 /// The facade entry point.

@@ -23,6 +23,14 @@
 //                         exercises the validation path).
 //   kPoisonState        — write NaN into the node state before the batch
 //                         linearizes (pre-update validation must catch it).
+//   kStall              — sleep `magnitude` wall-clock seconds at the batch
+//                         boundary, before the batch linearizes.  The site
+//                         (atom range + batch ordinal) is deterministic
+//                         across executors, so deadline/cancellation tests
+//                         get a reproducible "pathological molecule" whose
+//                         slow point is known exactly: the cancellation
+//                         poll right after the stalled batch observes the
+//                         expired deadline (DESIGN.md §13).
 #pragma once
 
 #include <limits>
@@ -34,13 +42,16 @@
 #ifdef PHMSE_FAULT_INJECTION
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
+#include <thread>
 #include <vector>
 #endif
 
 namespace phmse::fault {
 
-enum class Kind : int { kNonSpd = 0, kCorruptObservation, kPoisonState };
+enum class Kind : int { kNonSpd = 0, kCorruptObservation, kPoisonState,
+                        kStall };
 
 /// One armed injection site.  (atom_begin, atom_end) selects the target
 /// node by its atom range (-1 = wildcard; note an ancestor shares its
@@ -53,7 +64,13 @@ struct Site {
   Index atom_end = -1;
   Index batch = -1;
   /// kCorruptObservation: value written over the first residual.
+  /// kStall: wall-clock seconds to sleep.
   double magnitude = 1e6;
+  /// How many times this site may fire before going dormant (-1 = forever,
+  /// the historical persistent-fault behavior).  A finite count models
+  /// TRANSIENT faults: `max_fires = 1` fails exactly one attempt, so the
+  /// service layer's retry-with-backoff path can be exercised end to end.
+  int max_fires = -1;
 };
 
 #ifdef PHMSE_FAULT_INJECTION
@@ -93,11 +110,13 @@ class Injector {
             double* magnitude = nullptr) {
     if (!armed_.load(std::memory_order_acquire)) return false;
     std::lock_guard<std::mutex> lock(mu_);
-    for (const Site& s : sites_) {
+    for (Site& s : sites_) {
       if (s.kind != kind) continue;
       if (s.atom_begin >= 0 && s.atom_begin != atom_begin) continue;
       if (s.atom_end >= 0 && s.atom_end != atom_end) continue;
       if (s.batch >= 0 && s.batch != batch) continue;
+      if (s.max_fires == 0) continue;  // transient site already spent
+      if (s.max_fires > 0) --s.max_fires;
       ++fired_;
       if (magnitude != nullptr) *magnitude = s.magnitude;
       return true;
@@ -117,6 +136,16 @@ inline void maybe_poison_state(est::NodeState& state, Index batch) {
   if (Injector::instance().fire(Kind::kPoisonState, state.atom_begin,
                                 state.atom_end, batch)) {
     state.x[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+inline void maybe_stall(const est::NodeState& state, Index batch) {
+  double seconds = 0.0;
+  if (Injector::instance().fire(Kind::kStall, state.atom_begin,
+                                state.atom_end, batch, &seconds)) {
+    if (seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
   }
 }
 
@@ -148,6 +177,7 @@ inline void maybe_force_non_spd(const est::NodeState& state, Index batch,
 #else  // !PHMSE_FAULT_INJECTION — the hooks compile to nothing.
 
 inline void maybe_poison_state(est::NodeState&, Index) {}
+inline void maybe_stall(const est::NodeState&, Index) {}
 inline void maybe_corrupt_observation(const est::NodeState&, Index,
                                       linalg::Vector&) {}
 inline void maybe_force_non_spd(const est::NodeState&, Index,

@@ -92,6 +92,7 @@ BatchOutcome BatchUpdater::apply(par::ExecContext& ctx, NodeState& state,
       policy.on_failure == FailAction::kRetryRegularized ||
       policy.on_failure == FailAction::kGateOutliers;
 
+  fault::maybe_stall(state, batch_index);
   fault::maybe_poison_state(state, batch_index);
 
   linearize(ctx, state, batch);
@@ -252,6 +253,13 @@ void BatchUpdater::apply_all(par::ExecContext& ctx, NodeState& state,
   arch_len_.assign(static_cast<std::size_t>(set.size()), -1);
   Index applied_batches = 0;
   for (Index start = 0; start < set.size(); start += batch_size) {
+    // Batch-boundary cancellation poll (DESIGN.md §13): between batches the
+    // state holds only complete per-batch commits (apply is transactional),
+    // so this is the finest point where an abort cannot tear anything.
+    if (ctx.cancel_pending()) {
+      par::throw_cancelled(*ctx.cancel_token(), state.atom_begin,
+                           state.atom_end, applied_batches);
+    }
     const Index len = std::min(batch_size, set.size() - start);
     const BatchOutcome out =
         apply(ctx, state,

@@ -1,0 +1,37 @@
+#include "parallel/cancel.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace phmse::par {
+
+double CancelToken::remaining_seconds() const noexcept {
+  double remaining = std::numeric_limits<double>::infinity();
+  const std::int64_t ns = deadline_ns_.load(std::memory_order_acquire);
+  if (ns != kNoDeadline) {
+    const std::int64_t now =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    remaining = static_cast<double>(ns - now) * 1e-9;
+  }
+  if (upstream_ != nullptr) {
+    remaining = std::min(remaining, upstream_->remaining_seconds());
+  }
+  return remaining;
+}
+
+void throw_cancelled(const CancelToken& token, Index atom_begin,
+                     Index atom_end, Index batch) {
+  // Deadline expiry and explicit cancellation can race; report the deadline
+  // when it has passed — the engine maps that case to DeadlineError, and a
+  // watchdog that cancelled an over-deadline solve means the same thing.
+  const bool deadline = token.expired();
+  std::string what = deadline ? "solve deadline expired" : "solve cancelled";
+  if (atom_begin >= 0 && atom_end >= 0) {
+    what += " at node atoms [" + std::to_string(atom_begin) + ", " +
+            std::to_string(atom_end) + ")";
+  }
+  if (batch >= 0) what += ", batch " + std::to_string(batch);
+  throw CancelledError(what, deadline, atom_begin, atom_end, batch);
+}
+
+}  // namespace phmse::par

@@ -24,6 +24,7 @@
 #include <memory>
 #include <type_traits>
 
+#include "parallel/cancel.hpp"
 #include "perf/category.hpp"
 #include "perf/profile.hpp"
 #include "support/types.hpp"
@@ -142,6 +143,24 @@ class ExecContext {
   /// contexts this is the critical-path view: each kernel contributes the
   /// largest per-lane time.
   virtual const perf::Profile& profile() const = 0;
+
+  /// Cooperative cancellation (DESIGN.md §13).  Binding a token does not
+  /// interrupt anything by itself: kernels written against ExecContext poll
+  /// cancel_pending() at their transaction boundaries and throw through
+  /// par::throw_cancelled, which propagates like any other body exception
+  /// (all lanes joined, rethrown on the caller).  Null detaches.  Binding
+  /// belongs to whoever orchestrates the solve, between kernels.
+  void bind_cancel_token(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
+
+  /// True when a bound token requests a stop.  One null check when no token
+  /// is bound — cheap enough for per-batch polling.
+  bool cancel_pending() const {
+    return cancel_ != nullptr && cancel_->stop_requested();
+  }
+
+ private:
+  const CancelToken* cancel_ = nullptr;
 };
 
 /// Sequential execution with real wall-clock category timing.

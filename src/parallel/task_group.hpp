@@ -16,6 +16,7 @@
 #include <mutex>
 #include <utility>
 
+#include "parallel/cancel.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace phmse::par {
@@ -44,8 +45,23 @@ class TaskGroup {
   /// Runs `fn` on the calling thread.  An exception thrown by `fn` is
   /// recorded (first one wins) instead of propagating, and the arrival is
   /// counted unconditionally, so wait() cannot deadlock on a failed task.
+  ///
+  /// With a bound cancel token (DESIGN.md §13), a task that has not started
+  /// when the token fires is never entered: its arrival is counted and a
+  /// CancelledError recorded instead, so a cancelled fork-join tree stops
+  /// at the next task boundary rather than executing every queued subtree
+  /// to completion first.
   template <typename Fn>
   void run(Fn&& fn) noexcept {
+    if (cancel_ != nullptr && cancel_->stop_requested()) {
+      try {
+        throw_cancelled(*cancel_, -1, -1, -1);
+      } catch (...) {
+        record(std::current_exception());
+      }
+      latch_.count_down();
+      return;
+    }
     try {
       std::forward<Fn>(fn)();
     } catch (...) {
@@ -53,6 +69,10 @@ class TaskGroup {
     }
     latch_.count_down();
   }
+
+  /// Binds the token run() consults before entering each task.  Set before
+  /// the first submission; null (the default) disables the check.
+  void bind_cancel_token(const CancelToken* token) { cancel_ = token; }
 
   /// Accounts for a task that could never run (e.g. its submission was
   /// rejected by a stopping pool): records `error` and counts the arrival.
@@ -80,6 +100,7 @@ class TaskGroup {
   Latch latch_;
   mutable std::mutex mutex_;
   std::exception_ptr first_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace phmse::par
