@@ -63,9 +63,24 @@ configuration, the incremental row must be at least FACTOR times faster
 shift, O(k n) against the full tree's dense sweeps, falling back to the
 exact dirty-subtree replay only when it cannot answer).
 
+--max-refine-overhead [FRACTION] (default 0.02 when given) gates the
+outer-loop refinement subsystem: wherever a kernel document contains
+both a plan_solve_steady and a plan_solve_refine row for the same
+configuration, the refine row must not exceed the steady row by more
+than the fraction (DESIGN.md §14 — a single_pass refine::Refiner is the
+plain solve plus convergence monitoring, and that monitoring must stay
+< 2%).
+
 Both intra-document rows come from the same interleaved run on the same
 machine, so unlike the cross-run baseline comparison these checks are
 meaningful at any scale and are NOT silenced by --report-only.
+
+Passing an intra-document gate flag asserts that the named rows exist:
+a document with no matching row pair, or of the wrong schema for the
+gate, FAILS the check rather than skipping it — a renamed or dropped
+bench row must not silently retire the gate.  The one exception is
+--min-simd-speedup on a document recorded with simd_isa=scalar (no
+vector unit on the recording machine), which skips with a note.
 
 Exit status: 0 ok / report-only, 1 regression found, 2 invalid input.
 """
@@ -95,6 +110,10 @@ KNOWN_KERNELS = {
     # plan_solve_steady / plan_solve_incremental is the speedup gated by
     # --min-incremental-speedup.
     "plan_solve_incremental",
+    # Same steady-state solve routed through a single_pass refine::Refiner
+    # (DESIGN.md §14); plan_solve_refine / plan_solve_steady is the
+    # refinement monitoring overhead gated by --max-refine-overhead.
+    "plan_solve_refine",
 }
 KNOWN_IMPLS = {"simd", "blocked", "ref", "engine"}
 KNOWN_MODES = {"cold", "warm", "deadline"}
@@ -204,6 +223,52 @@ def key(doc, rec):
     return (rec["kernel"], rec["impl"], rec["m"], rec["n"], rec["threads"])
 
 
+def gate_missing(path, what):
+    """A gate flag was passed but its rows are absent: fail, don't skip.
+
+    Silently returning 0 here would let a renamed or dropped bench row
+    retire a CI gate without anyone noticing; the caller asserted the
+    rows exist by passing the flag, so their absence is a violation.
+    """
+    print(f"bench_check: GATE FAILED: {path} {what}; the gate flag asserts "
+          "those rows exist (rename/drop the flag if this is intentional)")
+    return 1
+
+
+def ratio_pair_check(doc, path, numer_kernel, denom_kernel, label, judge):
+    """Shared walk for the intra-document solver-row ratio gates.
+
+    Pairs numer_kernel against denom_kernel rows by configuration and
+    lets `judge(ratio) -> (violated, line)` score each pair.  Returns
+    the violation count; an empty pairing fails via gate_missing.
+    """
+    if is_service(doc):
+        return gate_missing(
+            path, f"is a service document ({label} needs kernel rows)")
+
+    def config(rec):
+        return (rec["impl"], rec["m"], rec["n"], rec["threads"])
+
+    denom = {config(r): r for r in doc["results"]
+             if r["kernel"] == denom_kernel}
+    numer = {config(r): r for r in doc["results"]
+             if r["kernel"] == numer_kernel}
+    violations = 0
+    checked = 0
+    for cfg in sorted(denom.keys() & numer.keys()):
+        checked += 1
+        ratio = numer[cfg]["seconds"] / denom[cfg]["seconds"]
+        tag = "{} m={} n={} t={}".format(*cfg)
+        violated, line = judge(ratio)
+        violations += 1 if violated else 0
+        print("  {:8s} {} {} {}".format(
+            "REGRESS" if violated else "ok", label, tag, line))
+    if not checked:
+        violations += gate_missing(
+            path, f"has no {denom_kernel}/{numer_kernel} row pair")
+    return violations
+
+
 def check_robustness_overhead(doc, path, max_overhead):
     """Intra-document plan_solve_policy vs plan_solve_steady gate.
 
@@ -211,35 +276,31 @@ def check_robustness_overhead(doc, path, max_overhead):
     same interleaved run (bench/solve_regress), so their ratio is a
     machine-independent overhead measurement.
     """
-    if is_service(doc):
-        print(f"bench_check: note: {path} is a service document; "
-              "robustness overhead not checked")
-        return 0
+    def judge(ratio):
+        overhead = ratio - 1.0
+        return overhead > max_overhead, "{:+.2f}% (limit {:+.2f}%)".format(
+            100.0 * overhead, 100.0 * max_overhead)
 
-    def config(rec):
-        return (rec["impl"], rec["m"], rec["n"], rec["threads"])
+    return ratio_pair_check(doc, path, "plan_solve_policy",
+                            "plan_solve_steady", "robustness overhead",
+                            judge)
 
-    steady = {config(r): r for r in doc["results"]
-              if r["kernel"] == "plan_solve_steady"}
-    policy = {config(r): r for r in doc["results"]
-              if r["kernel"] == "plan_solve_policy"}
-    violations = 0
-    checked = 0
-    for cfg in sorted(steady.keys() & policy.keys()):
-        checked += 1
-        overhead = policy[cfg]["seconds"] / steady[cfg]["seconds"] - 1.0
-        tag = "{} m={} n={} t={}".format(*cfg)
-        if overhead > max_overhead:
-            violations += 1
-            verdict = "REGRESS"
-        else:
-            verdict = "ok"
-        print("  {:8s} robustness overhead {} {:+.2f}% (limit {:+.2f}%)"
-              .format(verdict, tag, 100.0 * overhead, 100.0 * max_overhead))
-    if not checked:
-        print(f"bench_check: note: {path} has no steady/policy row pair; "
-              "robustness overhead not checked")
-    return violations
+
+def check_refine_overhead(doc, path, max_overhead):
+    """Intra-document plan_solve_refine vs plan_solve_steady gate.
+
+    Returns the number of violations.  The refine row routes the
+    identical steady-state solve through a single_pass refine::Refiner
+    in the same interleaved run (bench/solve_regress), so the ratio is
+    the pure cost of the convergence monitoring (DESIGN.md §14).
+    """
+    def judge(ratio):
+        overhead = ratio - 1.0
+        return overhead > max_overhead, "{:+.2f}% (limit {:+.2f}%)".format(
+            100.0 * overhead, 100.0 * max_overhead)
+
+    return ratio_pair_check(doc, path, "plan_solve_refine",
+                            "plan_solve_steady", "refine overhead", judge)
 
 
 def check_incremental_speedup(doc, path, min_speedup):
@@ -251,35 +312,14 @@ def check_incremental_speedup(doc, path, min_speedup):
     fast path (solve_lowrank), so steady / incremental is the rebind
     payoff independent of the machine's absolute speed.
     """
-    if is_service(doc):
-        print(f"bench_check: note: {path} is a service document; "
-              "incremental speedup not checked")
-        return 0
+    def judge(ratio):
+        speedup = 1.0 / ratio
+        return speedup < min_speedup, "{:.2f}x (floor {:.2f}x)".format(
+            speedup, min_speedup)
 
-    def config(rec):
-        return (rec["impl"], rec["m"], rec["n"], rec["threads"])
-
-    steady = {config(r): r for r in doc["results"]
-              if r["kernel"] == "plan_solve_steady"}
-    incremental = {config(r): r for r in doc["results"]
-                   if r["kernel"] == "plan_solve_incremental"}
-    violations = 0
-    checked = 0
-    for cfg in sorted(steady.keys() & incremental.keys()):
-        checked += 1
-        speedup = steady[cfg]["seconds"] / incremental[cfg]["seconds"]
-        tag = "{} m={} n={} t={}".format(*cfg)
-        if speedup < min_speedup:
-            violations += 1
-            verdict = "REGRESS"
-        else:
-            verdict = "ok"
-        print("  {:8s} incremental speedup {} {:.2f}x (floor {:.2f}x)"
-              .format(verdict, tag, speedup, min_speedup))
-    if not checked:
-        print(f"bench_check: note: {path} has no steady/incremental row "
-              "pair; incremental speedup not checked")
-    return violations
+    return ratio_pair_check(doc, path, "plan_solve_incremental",
+                            "plan_solve_steady", "incremental speedup",
+                            judge)
 
 
 def check_simd_speedup(doc, path, min_speedup):
@@ -292,10 +332,12 @@ def check_simd_speedup(doc, path, min_speedup):
     all matched single-thread shapes.
     """
     if is_service(doc):
-        print(f"bench_check: note: {path} is a service document; "
-              "simd speedup not checked")
-        return 0
+        return gate_missing(
+            path, "is a service document (simd speedup needs kernel rows)")
 
+    # The one legitimate skip: the recording machine had no vector unit,
+    # so the simd rows ran the scalar fallback and the ratio is
+    # meaningless rather than missing.
     if doc.get("simd_isa") == "scalar":
         print(f"bench_check: note: {path} simd rows ran without vector "
               "microkernels (simd_isa=scalar); simd speedup not checked")
@@ -332,8 +374,8 @@ def check_simd_speedup(doc, path, min_speedup):
               "(floor {:.2f}x)".format(verdict, kernel, geomean, len(cfgs),
                                        min_speedup))
     if not checked:
-        print(f"bench_check: note: {path} has no simd/blocked row pair on "
-              "the gemm-panel kernels; simd speedup not checked")
+        violations += gate_missing(
+            path, "has no simd/blocked row pair on the gemm-panel kernels")
     return violations
 
 
@@ -345,9 +387,8 @@ def check_warm_speedup(doc, path, min_speedup):
     plan cache's payoff independent of the machine's absolute speed.
     """
     if not is_service(doc):
-        print(f"bench_check: note: {path} is a kernel document; "
-              "warm speedup not checked")
-        return 0
+        return gate_missing(
+            path, "is a kernel document (warm speedup needs service rows)")
 
     def config(rec):
         return (rec["workload"], rec["tenants"], rec["requests"],
@@ -370,8 +411,7 @@ def check_warm_speedup(doc, path, min_speedup):
         print("  {:8s} warm speedup {} {:.2f}x (floor {:.2f}x)"
               .format(verdict, tag, speedup, min_speedup))
     if not checked:
-        print(f"bench_check: note: {path} has no cold/warm row pair; "
-              "warm speedup not checked")
+        violations += gate_missing(path, "has no cold/warm row pair")
     return violations
 
 
@@ -385,9 +425,9 @@ def check_deadline_overhead(doc, path, max_overhead):
     independent of the machine's absolute speed.
     """
     if not is_service(doc):
-        print(f"bench_check: note: {path} is a kernel document; "
-              "deadline overhead not checked")
-        return 0
+        return gate_missing(
+            path,
+            "is a kernel document (deadline overhead needs service rows)")
 
     def config(rec):
         return (rec["workload"], rec["tenants"], rec["requests"],
@@ -411,8 +451,7 @@ def check_deadline_overhead(doc, path, max_overhead):
         print("  {:8s} deadline overhead {} {:+.2f}% (limit {:+.2f}%)"
               .format(verdict, tag, 100.0 * overhead, 100.0 * max_overhead))
     if not checked:
-        print(f"bench_check: note: {path} has no warm/deadline row pair; "
-              "deadline overhead not checked")
+        violations += gate_missing(path, "has no warm/deadline row pair")
     return violations
 
 
@@ -502,6 +541,12 @@ def main():
                          "FACTOR times faster than plan_solve_steady within "
                          "a kernel document (default 3.0 when the flag is "
                          "given); not silenced by --report-only")
+    ap.add_argument("--max-refine-overhead", metavar="FRACTION",
+                    type=float, nargs="?", const=0.02, default=None,
+                    help="fail if plan_solve_refine exceeds plan_solve_steady "
+                         "by more than FRACTION within a kernel document "
+                         "(default 0.02 when the flag is given); "
+                         "not silenced by --report-only")
     args = ap.parse_args()
 
     if args.max_robustness_overhead is not None \
@@ -515,6 +560,8 @@ def main():
     if args.min_incremental_speedup is not None \
             and args.min_incremental_speedup < 1:
         ap.error("--min-incremental-speedup must be >= 1")
+    if args.max_refine_overhead is not None and args.max_refine_overhead < 0:
+        ap.error("--max-refine-overhead must be >= 0")
     if args.min_simd_speedup is not None and args.min_simd_speedup < 1:
         ap.error("--min-simd-speedup must be >= 1")
 
@@ -534,6 +581,9 @@ def main():
         if args.min_incremental_speedup is not None:
             bad += check_incremental_speedup(doc, args.validate,
                                              args.min_incremental_speedup)
+        if args.max_refine_overhead is not None:
+            bad += check_refine_overhead(doc, args.validate,
+                                         args.max_refine_overhead)
         if args.min_simd_speedup is not None:
             bad += check_simd_speedup(doc, args.validate,
                                       args.min_simd_speedup)
@@ -578,6 +628,9 @@ def main():
     if args.min_incremental_speedup is not None:
         intra_violations += check_incremental_speedup(
             current, args.current, args.min_incremental_speedup)
+    if args.max_refine_overhead is not None:
+        intra_violations += check_refine_overhead(
+            current, args.current, args.max_refine_overhead)
     if args.min_simd_speedup is not None:
         intra_violations += check_simd_speedup(
             current, args.current, args.min_simd_speedup)

@@ -1,7 +1,9 @@
 #include "core/solve_plan.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <exception>
 
@@ -92,6 +94,22 @@ void SolvePlan::mark_constraint_dirty(const HierNode* node) {
   PHMSE_CHECK(it != node_index_.end(),
               "mark_constraint_dirty: node is not part of this plan");
   dirty_[it->second] = 1;
+}
+
+void SolvePlan::set_variance_scale(double scale) {
+  PHMSE_CHECK(std::isfinite(scale) && scale > 0.0,
+              "variance scale must be finite and > 0");
+  if (std::bit_cast<std::uint64_t>(scale) ==
+      std::bit_cast<std::uint64_t>(variance_scale_)) {
+    return;  // no model change: checkpoints stay valid
+  }
+  variance_scale_ = scale;
+  for (NodeWork& w : nodes_) w.updater.set_variance_scale(scale);
+  // The persisted states (and their saved sweep tallies / archived Jacobian
+  // rows) were produced under the previous noise model: an incremental
+  // replay or low-rank shift over them would silently mix models, so the
+  // next run must be a full one.
+  has_checkpoint_ = false;
 }
 
 std::size_t SolvePlan::num_dirty_nodes() const {
@@ -382,6 +400,10 @@ bool SolvePlan::try_run_lowrank(par::ExecContext& ctx, const Vector& initial_x,
   if (!has_checkpoint_ || lowrank_in_progress_ || options_.max_cycles != 1) {
     return false;
   }
+  // Under an inflated noise model (annealing, DESIGN.md §14) the shift's
+  // R^{-1} weights would disagree with the sweep that formed the
+  // checkpoint; the exact path decides instead.
+  if (variance_scale_ != 1.0) return false;
   if (initial_x.size() != last_initial_.size() ||
       std::memcmp(initial_x.data(), last_initial_.data(),
                   initial_x.size() * sizeof(double)) != 0) {

@@ -177,6 +177,16 @@ class SolvePlan {
   /// belong to the hierarchy this plan was compiled from.
   void mark_constraint_dirty(const HierNode* node);
 
+  /// Scales every constraint's noise variance for subsequent runs — the
+  /// annealing seam (DESIGN.md §14): refine::Refiner sets T^2 here to
+  /// inflate observation sigmas by a temperature T, then restores 1.0.
+  /// Changing the scale (bitwise) invalidates the §11 checkpoint: the
+  /// persisted states were produced under a different noise model, so an
+  /// incremental or low-rank shortcut over them would mix models.  Setting
+  /// the current value again is a no-op.  Must be finite and > 0.
+  void set_variance_scale(double scale);
+  double variance_scale() const { return variance_scale_; }
+
   /// Low-rank perturbative re-solve (DESIGN.md §11; the "fast Kalman filter
   /// with low-rank perturbative approach" trick from PAPERS.md).  Instead of
   /// re-executing the dirty path — whose root-ward nodes re-apply EVERY one
@@ -333,6 +343,9 @@ class SolvePlan {
   /// orders it for worker lanes).
   bool cycle_incremental_ = false;
   bool has_checkpoint_ = false;
+  /// Observation-variance multiplier every node's updater applies (see
+  /// set_variance_scale); 1.0 = the exact noise model.
+  double variance_scale_ = 1.0;
   /// True while a low-rank attempt has partially mutated the root state
   /// (set on entry, cleared on success).  A subsequent low-rank call
   /// refuses until an exact run has rebuilt the root.

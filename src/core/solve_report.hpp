@@ -34,6 +34,72 @@ struct SolveIncident {
   est::BatchOutcome outcome;
 };
 
+/// One outer iteration of a refinement loop (DESIGN.md §14): the
+/// convergence-monitoring sample the refine::Refiner records after each
+/// re-linearized solve.  All values are controller-side arithmetic over the
+/// solve's posterior, so they are bitwise identical across executors.
+struct RefineIteration {
+  /// Total constraint chi-squared of the iterate, sum (z - h(x))^2 / var
+  /// over every constraint in the hierarchy, against the UN-inflated noise
+  /// model (annealing scales the solve, never the monitor).
+  double chi2 = 0.0;
+  /// RMS constraint residual of the iterate (same units as the
+  /// observations; the convergence studies report this).
+  double rms_residual = 0.0;
+  /// RMS change of the linearization point that produced this iterate.
+  double step_norm = 0.0;
+  /// Sigma-inflation temperature this iteration solved under (1 except for
+  /// the annealed mode's early iterations).
+  double temperature = 1.0;
+  /// True when this iteration started from a seeded perturbation restart.
+  bool restart = false;
+};
+
+/// Outer-loop refinement diagnostics (DESIGN.md §14), filled by
+/// refine::Refiner on the Result it returns.  Plain plan solves leave it
+/// empty (`active()` false) — the embedded vectors are only ever touched by
+/// the refine controller, so the steady-state solve path stays
+/// allocation-free.
+struct RefineReport {
+  /// "single_pass", "iterated" or "annealed" (refine::mode_name); short
+  /// enough for SSO.
+  std::string mode;
+  /// Outer iterations executed (solves performed); 0 = no refinement ran.
+  int iterations = 0;
+  /// The loop met its step/residual tolerance before the iteration cap.
+  bool converged = false;
+  /// The loop stopped because the estimate was getting worse (divergence
+  /// detection); the returned iterate is still the best one seen.
+  bool diverged = false;
+  /// Seeded perturbation restarts taken (annealed mode).
+  int restarts = 0;
+  /// The deadline/cancel fired mid-loop after >= 1 completed iteration and
+  /// the result degraded to the best iterate instead of erroring.
+  bool deadline_degraded = false;
+  /// 1-based index of the iteration whose posterior the Result carries.
+  int best_iteration = 0;
+  /// Chi-squared at the caller's initial estimate, before any solve.
+  double initial_chi2 = 0.0;
+  /// Chi-squared of the returned (best) iterate / the last iterate.
+  double best_chi2 = 0.0;
+  double final_chi2 = 0.0;
+  /// Per-iteration trajectory, in execution order.
+  std::vector<RefineIteration> trajectory;
+
+  /// True when a refinement loop produced this report.
+  bool active() const { return iterations > 0; }
+
+  void clear() {
+    mode.clear();  // SSO — no alloc
+    iterations = 0;
+    converged = diverged = deadline_degraded = false;
+    restarts = 0;
+    best_iteration = 0;
+    initial_chi2 = best_chi2 = final_chi2 = 0.0;
+    trajectory.clear();  // keeps capacity
+  }
+};
+
 /// Aggregated diagnostics of one SolvePlan execution (all nodes, all
 /// cycles).  Counters count batches; `incidents` lists every non-ok batch.
 struct SolveReport {
@@ -77,6 +143,9 @@ struct SolveReport {
   /// small-string buffer — no allocation on the steady-state solve path.
   std::string backend;
   std::vector<SolveIncident> incidents;
+  /// Outer-loop refinement diagnostics (DESIGN.md §14); empty unless this
+  /// result came from refine::Refiner.
+  RefineReport refine;
 
   /// True when every batch applied on its first factorization attempt.
   bool clean() const { return retried + gated + skipped + failed == 0; }
@@ -99,6 +168,7 @@ struct SolveReport {
     cancelled_atom_begin = cancelled_atom_end = cancelled_batch = -1;
     backend.clear();    // SSO — no alloc, no capacity to lose
     incidents.clear();  // keeps capacity — no alloc on the next clean run
+    refine.clear();
   }
 
   /// Folds one node's tally into the solve-wide totals.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <sstream>
@@ -508,6 +509,19 @@ void Plan::set_observations(std::span<const double> values) {
     slot.node->constraints.set_observed(slot.index, values[i]);
     plan_->mark_constraint_dirty(slot.node);
   }
+}
+
+void Plan::set_sigma_inflation(double temperature) {
+  PHMSE_CHECK(std::isfinite(temperature) && temperature > 0.0,
+              "sigma inflation temperature must be finite and > 0");
+  // sigma' = T * sigma  <=>  variance' = T^2 * variance.
+  plan_->set_variance_scale(temperature == 1.0 ? 1.0
+                                               : temperature * temperature);
+}
+
+double Plan::sigma_inflation() const {
+  const double scale = plan_->variance_scale();
+  return scale == 1.0 ? 1.0 : std::sqrt(scale);
 }
 
 std::string Plan::describe() const {

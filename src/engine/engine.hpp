@@ -171,6 +171,15 @@ class Plan {
 
   /// Serial solve on the plan's own context.  After the first call this is
   /// the zero-allocation steady-state path.
+  ///
+  /// `initial_x` is the solve's LINEARIZATION POINT, not just a warm start:
+  /// every leaf fills its state from its slice of it and the constraint
+  /// Jacobians are evaluated at the evolving estimate seeded from it.  The
+  /// root posterior's coordinate ordering equals initial_x's (coordinate
+  /// 3*atom+axis), so feeding one solve's posterior mean back as the next
+  /// initial_x re-linearizes the whole problem at the current estimate —
+  /// the re-linearization seam the refine::Refiner's iterated mode drives
+  /// (DESIGN.md §14), symmetric with how set_observations rebinds values.
   Result solve(const linalg::Vector& initial_x);
 
   /// Solve on a caller-provided context (serial, team, or simulated).
@@ -295,6 +304,20 @@ class Plan {
   /// Number of values set_observations expects: one per constraint of the
   /// compiled problem, in the problem's constraint order.
   std::size_t num_observation_slots() const { return slots_.size(); }
+
+  /// Inflates every observation's sigma by `temperature` for subsequent
+  /// solves — the annealing seam of the refinement subsystem (DESIGN.md
+  /// §14): variances scale by temperature^2, flattening the posterior so
+  /// early annealed iterations move freely, and 1.0 restores the exact
+  /// noise model bitwise.  A (bitwise) change invalidates the §11
+  /// checkpoint and disables solve_lowrank until an exact solve at the new
+  /// temperature completes; the constraints' stored variances are never
+  /// modified.  Symmetric with set_observations: observations rebind the
+  /// measured values, this rebinds how much they are trusted.  Must be
+  /// finite and > 0 (normally >= 1).
+  void set_sigma_inflation(double temperature);
+  /// The currently applied sigma-inflation temperature (1 = exact model).
+  double sigma_inflation() const;
 
   int processors() const { return processors_; }
   const core::WorkModel& work_model() const { return work_model_; }

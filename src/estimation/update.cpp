@@ -53,7 +53,11 @@ void BatchUpdater::linearize(par::ExecContext& ctx, const NodeState& state,
       cons::Gradient grad;
       const double predicted = cons::evaluate_with_gradient(c, pos, grad);
       residual_[static_cast<std::size_t>(j)] = c.observed - predicted;
-      rdiag_[static_cast<std::size_t>(j)] = c.variance;
+      // At the default scale the variance is copied verbatim: x * 1.0 is
+      // bitwise x for every finite double, but skipping the multiply keeps
+      // even non-finite inputs (caught by validation) byte-exact.
+      rdiag_[static_cast<std::size_t>(j)] =
+          variance_scale_ == 1.0 ? c.variance : c.variance * variance_scale_;
 
       builder.begin_row();
       for (Index k = 0; k < na; ++k) {
@@ -68,6 +72,12 @@ void BatchUpdater::linearize(par::ExecContext& ctx, const NodeState& state,
     positions_finite_ = finite;
     builder.finish_into(h_);
   });
+}
+
+void BatchUpdater::set_variance_scale(double scale) {
+  PHMSE_CHECK(std::isfinite(scale) && scale > 0.0,
+              "variance scale must be finite and > 0");
+  variance_scale_ = scale;
 }
 
 bool BatchUpdater::batch_inputs_valid_() const {

@@ -39,6 +39,16 @@ class BatchUpdater {
   /// The pointer must outlive the updater; registry backends are static.
   void set_backend(const linalg::Backend* backend) { backend_ = backend; }
 
+  /// Multiplies every constraint's noise variance by `scale` at
+  /// linearization time — the annealing seam of DESIGN.md §14: inflating
+  /// observation sigmas by a temperature T means scale = T^2.  The
+  /// constraints themselves are never touched, so dropping the scale back
+  /// to 1.0 restores the exact original noise model.  At the default 1.0
+  /// the variance is copied verbatim (no multiply), so unscaled sweeps stay
+  /// bitwise identical to the historical path.  Must be finite and > 0.
+  void set_variance_scale(double scale);
+  double variance_scale() const { return variance_scale_; }
+
   /// Applies one batch of scalar constraints to `state`.  All constraint
   /// atoms must lie inside the state's atom range.  Execution (serial,
   /// threaded, or simulated) is directed by `ctx`.
@@ -103,6 +113,10 @@ class BatchUpdater {
 
   /// Kernel dispatch table (see set_backend); null = process default.
   const linalg::Backend* backend_ = nullptr;
+
+  /// Observation-variance multiplier (see set_variance_scale); 1.0 = the
+  /// exact noise model, applied without a multiply.
+  double variance_scale_ = 1.0;
 
   linalg::Csr h_;
   linalg::CsrBuilder builder_;  // Jacobian assembly; capacity swaps with h_

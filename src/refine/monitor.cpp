@@ -1,0 +1,48 @@
+#include "refine/monitor.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "constraints/constraint.hpp"
+#include "support/check.hpp"
+
+namespace phmse::refine {
+
+Residuals measure(const core::Hierarchy& hierarchy, const linalg::Vector& x) {
+  PHMSE_CHECK(static_cast<Index>(x.size()) == hierarchy.root().dim(),
+              "measure: state dimension does not match the hierarchy");
+  Residuals out;
+  double sumsq = 0.0;
+  hierarchy.for_each_post_order([&](const core::HierNode& node) {
+    for (const cons::Constraint& c : node.constraints.all()) {
+      const Index na = cons::arity(c.kind);
+      std::array<mol::Vec3, 4> pos{};
+      for (Index k = 0; k < na; ++k) {
+        const auto i =
+            static_cast<std::size_t>(3 * c.atoms[static_cast<std::size_t>(k)]);
+        pos[static_cast<std::size_t>(k)] = {x[i], x[i + 1], x[i + 2]};
+      }
+      const double r = c.observed - cons::evaluate(c, pos);
+      sumsq += r * r;
+      out.chi2 += (r * r) / c.variance;
+      ++out.count;
+    }
+  });
+  out.rms =
+      out.count > 0 ? std::sqrt(sumsq / static_cast<double>(out.count)) : 0.0;
+  return out;
+}
+
+double rms_step(const linalg::Vector& a, const linalg::Vector& b) {
+  PHMSE_CHECK(a.size() == b.size(),
+              "rms_step: state dimension changed between iterations");
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+}  // namespace phmse::refine

@@ -1,0 +1,44 @@
+// Controller-side convergence monitoring for the refinement loop
+// (DESIGN.md §14).
+//
+// The Refiner decides convergence, divergence and restarts from summary
+// statistics of each iterate: the total constraint chi-squared and RMS
+// residual of the candidate structure, and the RMS step the linearization
+// point took.  Everything here runs on the controlling thread in one fixed
+// traversal order (the hierarchy's post-order, each node's constraint list
+// in sweep order), so the numbers — and therefore every control decision
+// derived from them — are bitwise identical no matter which executor ran
+// the solves.
+//
+// The monitor always evaluates against the UN-inflated noise model (each
+// constraint's own variance): annealing rescales what the solver trusts,
+// never what progress is measured against.
+#pragma once
+
+#include "core/hierarchy.hpp"
+#include "linalg/matrix.hpp"
+#include "support/types.hpp"
+
+namespace phmse::refine {
+
+/// Residual summary of one candidate structure against every constraint in
+/// the hierarchy.
+struct Residuals {
+  /// Sum over constraints of (z - h(x))^2 / variance.
+  double chi2 = 0.0;
+  /// Root-mean-square of (z - h(x)) (observation units).
+  double rms = 0.0;
+  /// Constraints evaluated.
+  long count = 0;
+};
+
+/// Evaluates every constraint of `hierarchy` at the full-molecule state `x`
+/// (coordinate 3 * atom + axis, the root/initial_x ordering).  Reads the
+/// currently bound observed values — the same ones a solve would apply.
+Residuals measure(const core::Hierarchy& hierarchy, const linalg::Vector& x);
+
+/// RMS elementwise difference of two equal-length state vectors (the
+/// step-norm entry of the refine trajectory).
+double rms_step(const linalg::Vector& a, const linalg::Vector& b);
+
+}  // namespace phmse::refine

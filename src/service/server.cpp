@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
+#include <optional>
 #include <utility>
 
 #include "support/check.hpp"
@@ -30,6 +31,12 @@ Server::Server(const ServerOptions& options)
   PHMSE_CHECK(options.watchdog_interval_seconds > 0.0 &&
                   std::isfinite(options.watchdog_interval_seconds),
               "Server watchdog interval must be finite and > 0");
+  PHMSE_CHECK(options.max_refine_iterations >= 1,
+              "Server max_refine_iterations must be >= 1");
+  for (const auto& [tenant, cap] : options.tenant_refine_iteration_caps) {
+    PHMSE_CHECK(cap >= 1, "Server refine iteration cap for tenant '" + tenant +
+                              "' must be >= 1");
+  }
   free_workers_.reserve(static_cast<std::size_t>(options.workers));
   for (int w = options.workers - 1; w >= 0; --w) free_workers_.push_back(w);
   watchdog_ = std::thread([this] { watchdog_loop_(); });
@@ -82,6 +89,21 @@ std::future<Response> Server::submit(const std::string& tenant,
       !std::isfinite(request.retry_backoff_seconds)) {
     throw Error("submit: retry_backoff_seconds must be finite and >= 0");
   }
+  // Refinement controls (DESIGN.md §14): validate here so a malformed loop
+  // configuration fails at the call site, then clamp the iteration count to
+  // the tenant's server-side cap — the operator bounds how much worker time
+  // one request may multiply into.  The refine deadline/cancel fields are
+  // server-owned: the request's end-to-end budget is the only clock.
+  refine::validate(request.refine);
+  if (request.refine.mode != refine::Mode::kSinglePass) {
+    const auto cap_it = options_.tenant_refine_iteration_caps.find(tenant);
+    const int cap = cap_it != options_.tenant_refine_iteration_caps.end()
+                        ? cap_it->second
+                        : options_.max_refine_iterations;
+    request.refine.max_iterations = std::min(request.refine.max_iterations, cap);
+  }
+  request.refine.deadline_seconds = 0.0;
+  request.refine.cancel = nullptr;
 
   const Clock::time_point now = Clock::now();
   std::future<Response> future;
@@ -322,6 +344,8 @@ void Server::execute_(Job& job) {
     inflight_.emplace(job.seq, &token);
   }
   bool low_rank = false;
+  bool refined = false;
+  bool refine_degraded = false;
   try {
     const Request& req = job.request;
     Response response;
@@ -361,8 +385,27 @@ void Server::execute_(Job& job) {
         engine::SolveOptions controls;
         controls.cancel = job.has_deadline ? &token : nullptr;
         controls.degrade_lowrank = req.degrade_lowrank;
-        const engine::Result result =
-            lease.plan().solve_incremental(req.initial, controls);
+        engine::Result result;
+        // Kept alive until the response copies out below: an iterated or
+        // annealed result borrows its posterior from the Refiner, not the
+        // plan.
+        std::optional<refine::Refiner> refiner;
+        if (req.refine.mode == refine::Mode::kSinglePass) {
+          result = lease.plan().solve_incremental(req.initial, controls);
+        } else {
+          // Refined request (DESIGN.md §14): run the outer loop on the
+          // leased plan under the job's deadline token.  Every iteration is
+          // an exact solve (no low-rank rung), and once one iterate exists
+          // an expiring deadline degrades the response to the best so far
+          // instead of failing it — report.refine records both the
+          // trajectory and the degradation.
+          refine::RefineOptions ropts = req.refine;
+          ropts.cancel = job.has_deadline ? &token : nullptr;
+          refiner.emplace(lease.plan(), ropts);
+          result = refiner->refine(req.initial);
+          refined = true;
+          refine_degraded = result.report.refine.deadline_degraded;
+        }
         response.x = result.posterior().x;
         response.cycles = result.cycles;
         response.converged = result.converged;
@@ -406,6 +449,8 @@ void Server::execute_(Job& job) {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++completed_;
       if (low_rank) ++degraded_;
+      if (refined) ++refined_;
+      if (refine_degraded) ++refine_degraded_;
       record_outcome_(job, /*success=*/true);
       if (job.has_deadline) inflight_.erase(job.seq);
     }
@@ -502,6 +547,8 @@ ServerStats Server::stats() const {
     s.expired = expired_;
     s.retried = retried_;
     s.degraded = degraded_;
+    s.refined = refined_;
+    s.refine_degraded = refine_degraded_;
     s.breaker_rejected = breaker_rejected_;
     s.breaker_trips = breaker_trips_;
     for (const auto& [tenant, b] : breakers_) {

@@ -48,6 +48,7 @@
 #include "engine/engine.hpp"
 #include "parallel/cancel.hpp"
 #include "parallel/thread_pool.hpp"
+#include "refine/refiner.hpp"
 #include "service/plan_cache.hpp"
 
 namespace phmse::service {
@@ -99,6 +100,16 @@ struct ServerOptions {
   /// Watchdog period: how often queued requests are checked for expired
   /// deadlines and over-deadline in-flight solves are cancelled.
   double watchdog_interval_seconds = 0.02;
+  /// Outer-iteration ceiling for refined requests (DESIGN.md §14): a
+  /// Request.refine.max_iterations above the tenant's cap is clamped (not
+  /// rejected) at submit() — refinement multiplies solve cost by its
+  /// iteration count, so the operator, not the tenant, bounds worker time.
+  /// Must be >= 1.  single_pass requests are unaffected.
+  int max_refine_iterations = 32;
+  /// Per-tenant overrides of max_refine_iterations (each >= 1): lets an
+  /// operator grant a heavy tenant more refinement headroom — or throttle
+  /// one — without touching everyone else's ceiling.
+  std::unordered_map<std::string, int> tenant_refine_iteration_caps;
 };
 
 /// One tenant submission: a problem (or a cached family member), compile
@@ -126,8 +137,19 @@ struct Request {
   /// Opt-in graceful degradation (engine::SolveOptions::degrade_lowrank):
   /// when the remaining budget is too tight for the exact path, answer
   /// with the first-order low-rank root update when its preconditions
-  /// hold; Response::report.low_rank marks a degraded answer.
+  /// hold; Response::report.low_rank marks a degraded answer.  Ignored by
+  /// refined requests (every refine iteration is an exact solve).
   bool degrade_lowrank = false;
+  /// Outer-loop refinement (DESIGN.md §14).  The default single_pass mode
+  /// keeps today's incremental fast path; iterated/annealed requests run
+  /// through a refine::Refiner on the leased plan.  max_iterations is
+  /// clamped to the tenant's server-side cap at submit(); the refine
+  /// deadline/cancel fields are overridden by the request's own end-to-end
+  /// budget (set deadline_seconds on the Request, not here), under which a
+  /// refined request degrades to its best iterate once one exists
+  /// (Response::report.refine.deadline_degraded) instead of failing.
+  /// Response::report.refine carries the per-iteration trajectory.
+  refine::RefineOptions refine;
 };
 
 /// What a tenant gets back.  The posterior mean is copied out of the leased
@@ -153,6 +175,8 @@ struct ServerStats {
   long expired = 0;          ///< queued solves shed by deadline expiry
   long retried = 0;          ///< transient-failure retry attempts performed
   long degraded = 0;         ///< responses answered by the low-rank rung
+  long refined = 0;          ///< responses served through the refine loop
+  long refine_degraded = 0;  ///< refined responses cut to best-so-far by deadline
   long breaker_rejected = 0; ///< submit() refusals due to an open breaker
   long breaker_trips = 0;    ///< closed/half-open -> open transitions
   std::size_t breaker_open = 0;  ///< tenants currently not closed
@@ -267,6 +291,8 @@ class Server {
   long expired_ = 0;
   long retried_ = 0;
   long degraded_ = 0;
+  long refined_ = 0;
+  long refine_degraded_ = 0;
   long breaker_rejected_ = 0;
   long breaker_trips_ = 0;
 
